@@ -1,0 +1,131 @@
+package vadalink_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"vadalink"
+)
+
+// The tests in this file exercise the public facade the way a downstream
+// user would, keeping the README snippets honest.
+
+func TestQuickstartSnippet(t *testing.T) {
+	g, b := vadalink.Figure1()
+	controlled := vadalink.Controls(g, b.ID("P1"))
+	if len(controlled) != 4 {
+		t.Errorf("P1 controls %d companies, want 4 (C, D, E, F)", len(controlled))
+	}
+	links := vadalink.CloseLinks(g, 0.2)
+	if len(links) == 0 {
+		t.Error("no close links on Figure 1")
+	}
+}
+
+func TestBuildYourOwnGraph(t *testing.T) {
+	b := vadalink.NewBuilder()
+	b.Person("Alice")
+	b.Company("Acme")
+	b.Company("Sub")
+	b.Own("Alice", "Acme", 0.6).Own("Acme", "Sub", 0.8)
+	g := b.Graph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := vadalink.Controls(g, b.ID("Alice"))
+	if len(got) != 2 {
+		t.Errorf("Alice controls %d, want 2", len(got))
+	}
+	if phi := vadalink.Accumulated(g, b.ID("Alice"), b.ID("Sub")); phi != 0.48 {
+		t.Errorf("Φ(Alice, Sub) = %v, want 0.48", phi)
+	}
+}
+
+func TestAugmentThroughFacade(t *testing.T) {
+	it := vadalink.NewItalian(vadalink.ItalianConfig{Persons: 100, Companies: 40, Seed: 2})
+	res, err := vadalink.DetectFamilies(it.Graph, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range res.Added {
+		total += n
+	}
+	if total == 0 {
+		t.Error("DetectFamilies added nothing")
+	}
+}
+
+func TestCustomRulesThroughFacade(t *testing.T) {
+	prog, err := vadalink.ParseRules(`
+		own(X, Y, W), W > 0.9 -> wholly(X, Y).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := vadalink.NewEngine(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AssertAll(nil)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReasonerThroughFacade(t *testing.T) {
+	g, b := vadalink.Figure2()
+	r := vadalink.NewReasoner(g, vadalink.TaskControl|vadalink.TaskCloseLink)
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.ControlPairs()) == 0 || len(r.CloseLinkPairs()) == 0 {
+		t.Error("combined tasks produced no results")
+	}
+	_ = b
+}
+
+func TestAPIHandlerThroughFacade(t *testing.T) {
+	g, _ := vadalink.Figure2()
+	srv := httptest.NewServer(vadalink.APIHandler(g))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("stats status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsThroughFacade(t *testing.T) {
+	g := vadalink.Barabasi(500, 2, 1)
+	s := vadalink.Stats(g)
+	if s.Nodes != 500 {
+		t.Errorf("nodes = %d", s.Nodes)
+	}
+}
+
+func TestSnapshotThroughFacade(t *testing.T) {
+	g, _ := vadalink.Figure1()
+	path := t.TempDir() + "/kg.snap"
+	if err := vadalink.SaveSnapshot(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vadalink.LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Errorf("snapshot round trip lost elements")
+	}
+}
+
+func TestConcentrationThroughFacade(t *testing.T) {
+	g, _ := vadalink.Figure1()
+	c := vadalink.OwnershipConcentration(g)
+	if c.CompaniesWithOwners == 0 || c.MeanHHI <= 0 {
+		t.Errorf("concentration = %+v", c)
+	}
+}

@@ -1,0 +1,316 @@
+// Command vadalink is the operator CLI of the Vada-Link reproduction. It
+// loads a property graph from JSON (see cmd/graphgen) and runs the paper's
+// reasoning tasks over it.
+//
+// Usage:
+//
+//	vadalink stats     -in graph.json
+//	vadalink control   -in graph.json [-node ID]
+//	vadalink closelink -in graph.json [-t 0.2]
+//	vadalink family    -in graph.json [-k 1]
+//	vadalink reason    -in graph.json -task control|closelink|partner
+//	vadalink serve     -in graph.json [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"vadalink"
+	"vadalink/internal/pg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vadalink: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "stats":
+		cmdStats(args)
+	case "control":
+		cmdControl(args)
+	case "closelink":
+		cmdCloseLink(args)
+	case "family":
+		cmdFamily(args)
+	case "reason":
+		cmdReason(args)
+	case "explain":
+		cmdExplain(args)
+	case "dot":
+		cmdDot(args)
+	case "ubo":
+		cmdUBO(args)
+	case "serve":
+		cmdServe(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: vadalink <stats|control|closelink|family|reason|explain|dot|ubo|serve> [flags]
+run "vadalink <cmd> -h" for per-command flags`)
+	os.Exit(2)
+}
+
+// cmdExplain prints the derivation tree of a control decision — the paper's
+// explainability property, live: why does X control Y?
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	in := fs.String("in", "", "input graph JSON")
+	from := fs.Int64("from", -1, "controller node id")
+	to := fs.Int64("to", -1, "controlled node id")
+	_ = fs.Parse(args)
+	if *from < 0 || *to < 0 {
+		log.Fatal("explain needs -from and -to node ids")
+	}
+	g := loadGraph(*in)
+	r := vadalink.NewReasoner(g, vadalink.TaskControl)
+	r.Options.Provenance = true
+	if err := r.Run(); err != nil {
+		log.Fatal(err)
+	}
+	tree := r.ExplainControl(vadalink.NodeID(*from), vadalink.NodeID(*to))
+	if tree == nil {
+		fmt.Printf("%s does not control %s\n",
+			nodeName(g, vadalink.NodeID(*from)), nodeName(g, vadalink.NodeID(*to)))
+		return
+	}
+	for _, line := range tree {
+		fmt.Println(line)
+	}
+}
+
+func loadGraph(path string) *vadalink.Graph {
+	if path == "" {
+		log.Fatal("missing -in graph.json (generate one with graphgen, or use -companies/-persons/-shares CSVs)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	g, err := pg.ReadJSON(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+// csvFlags adds the registry-CSV input flags shared by the commands that
+// accept either -in graph.json or the CSV triple.
+type csvFlags struct {
+	in, companies, persons, shares *string
+}
+
+func addInputFlags(fs *flag.FlagSet) csvFlags {
+	return csvFlags{
+		in:        fs.String("in", "", "input graph JSON"),
+		companies: fs.String("companies", "", "companies CSV (id,name,sector,addr,city)"),
+		persons:   fs.String("persons", "", "persons CSV (id,name,surname,birth,addr,city)"),
+		shares:    fs.String("shares", "", "shareholdings CSV (owner,owned,share[,right])"),
+	}
+}
+
+func (c csvFlags) load() *vadalink.Graph {
+	if *c.companies == "" && *c.persons == "" && *c.shares == "" {
+		return loadGraph(*c.in)
+	}
+	open := func(path string) io.Reader {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+	res, err := vadalink.LoadCSV(open(*c.companies), open(*c.persons), open(*c.shares))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Graph
+}
+
+func nodeName(g *vadalink.Graph, id vadalink.NodeID) string {
+	if n := g.Node(id); n != nil {
+		if s, ok := n.Props["name"].(string); ok && s != "" {
+			if sn, ok := n.Props["surname"].(string); ok && sn != "" {
+				return fmt.Sprintf("%s %s (#%d)", s, sn, id)
+			}
+			return fmt.Sprintf("%s (#%d)", s, id)
+		}
+	}
+	return fmt.Sprintf("#%d", id)
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	inputs := addInputFlags(fs)
+	_ = fs.Parse(args)
+	g := inputs.load()
+	fmt.Print(vadalink.Stats(g).String())
+}
+
+func cmdControl(args []string) {
+	fs := flag.NewFlagSet("control", flag.ExitOnError)
+	inputs := addInputFlags(fs)
+	node := fs.Int64("node", -1, "controller node id (default: all pairs)")
+	_ = fs.Parse(args)
+	g := inputs.load()
+	if *node >= 0 {
+		for _, y := range vadalink.Controls(g, vadalink.NodeID(*node)) {
+			fmt.Printf("%s controls %s\n", nodeName(g, vadalink.NodeID(*node)), nodeName(g, y))
+		}
+		return
+	}
+	for _, p := range vadalink.AllControlPairs(g) {
+		fmt.Printf("%s controls %s\n", nodeName(g, p.From), nodeName(g, p.To))
+	}
+}
+
+func cmdCloseLink(args []string) {
+	fs := flag.NewFlagSet("closelink", flag.ExitOnError)
+	inputs := addInputFlags(fs)
+	t := fs.Float64("t", 0.2, "close-link threshold")
+	_ = fs.Parse(args)
+	g := inputs.load()
+	for _, l := range vadalink.CloseLinks(g, *t) {
+		fmt.Printf("close link %s – %s (via %s)\n",
+			nodeName(g, l.Pair.A), nodeName(g, l.Pair.B), nodeName(g, l.Via))
+	}
+}
+
+func cmdFamily(args []string) {
+	fs := flag.NewFlagSet("family", flag.ExitOnError)
+	in := fs.String("in", "", "input graph JSON")
+	k := fs.Int("k", 1, "first-level clusters (1 = blocking only)")
+	out := fs.String("out", "", "write the augmented graph JSON here")
+	_ = fs.Parse(args)
+	g := loadGraph(*in)
+	res, err := vadalink.DetectFamilies(g, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rounds=%d blocks=%d comparisons=%d\n", res.Rounds, res.Blocks, res.Comparisons)
+	for label, n := range res.Added {
+		fmt.Printf("added %-10s %d\n", label, n)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := g.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func cmdReason(args []string) {
+	fs := flag.NewFlagSet("reason", flag.ExitOnError)
+	in := fs.String("in", "", "input graph JSON")
+	task := fs.String("task", "control", "control | closelink | partner")
+	_ = fs.Parse(args)
+	g := loadGraph(*in)
+	var sel = vadalink.TaskControl
+	switch *task {
+	case "control":
+		sel = vadalink.TaskControl
+	case "closelink":
+		sel = vadalink.TaskCloseLink
+	case "partner":
+		sel = vadalink.TaskPartner
+	default:
+		log.Fatalf("unknown task %q", *task)
+	}
+	r := vadalink.NewReasoner(g, sel)
+	if err := r.Run(); err != nil {
+		log.Fatal(err)
+	}
+	switch *task {
+	case "control":
+		for _, p := range r.ControlPairs() {
+			fmt.Printf("control %s -> %s\n", nodeName(g, p[0]), nodeName(g, p[1]))
+		}
+	case "closelink":
+		for _, p := range r.CloseLinkPairs() {
+			if p[0] < p[1] {
+				fmt.Printf("closelink %s – %s\n", nodeName(g, p[0]), nodeName(g, p[1]))
+			}
+		}
+	case "partner":
+		for _, p := range r.PartnerPairs() {
+			if p[0] < p[1] {
+				fmt.Printf("partner %s – %s\n", nodeName(g, p[0]), nodeName(g, p[1]))
+			}
+		}
+	}
+}
+
+// cmdDot renders the graph (optionally after annotating control and
+// close-link edges) in Graphviz DOT format.
+func cmdDot(args []string) {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	in := fs.String("in", "", "input graph JSON")
+	annotate := fs.Bool("annotate", false, "add control and close-link edges before rendering")
+	_ = fs.Parse(args)
+	g := loadGraph(*in)
+	if *annotate {
+		r := vadalink.NewReasoner(g, vadalink.TaskControl|vadalink.TaskCloseLink)
+		if err := r.Run(); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := r.Apply(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := g.WriteDOT(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// cmdUBO lists the ultimate beneficial owners (controlling persons) of a
+// company, or all orphan companies.
+func cmdUBO(args []string) {
+	fs := flag.NewFlagSet("ubo", flag.ExitOnError)
+	in := fs.String("in", "", "input graph JSON")
+	node := fs.Int64("node", -1, "company node id (default: list orphans)")
+	_ = fs.Parse(args)
+	g := loadGraph(*in)
+	if *node >= 0 {
+		ubos := vadalink.UltimateControllers(g, vadalink.NodeID(*node))
+		if len(ubos) == 0 {
+			fmt.Printf("%s has no ultimate controller\n", nodeName(g, vadalink.NodeID(*node)))
+			return
+		}
+		for _, p := range ubos {
+			fmt.Printf("%s is ultimately controlled by %s\n",
+				nodeName(g, vadalink.NodeID(*node)), nodeName(g, p))
+		}
+		return
+	}
+	for _, c := range vadalink.Orphans(g) {
+		fmt.Printf("orphan: %s\n", nodeName(g, c))
+	}
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("in", "", "input graph JSON")
+	addr := fs.String("addr", ":8080", "listen address")
+	_ = fs.Parse(args)
+	g := loadGraph(*in)
+	log.Printf("serving reasoning API on %s (%d nodes, %d edges)", *addr, g.NumNodes(), g.NumEdges())
+	log.Fatal(http.ListenAndServe(*addr, vadalink.APIHandler(g)))
+}

@@ -1,0 +1,61 @@
+// Command familylinks runs the full Vada-Link pipeline of the paper on a
+// synthetic Italian company graph: generate data with planted family ground
+// truth, augment the knowledge graph with predicted family links (Algorithm
+// 1 with two-level clustering), and evaluate recall against the plant —
+// a miniature of the §6 evaluation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vadalink"
+)
+
+func main() {
+	it := vadalink.NewItalian(vadalink.ItalianConfig{Persons: 800, Companies: 400, Seed: 42})
+	g := it.Graph
+	fmt.Printf("generated graph: %d nodes, %d edges, %d planted family pairs\n",
+		g.NumNodes(), g.NumEdges(), len(it.Truth))
+
+	// Detection with blocking only (k = 1): multi-pass blocking on surname
+	// and household keeps family pairs together, so recall matches the
+	// exhaustive classifier at a tiny fraction of the comparisons. Adding
+	// first-level embedding clusters (k = 8) cuts comparisons further but
+	// costs recall on a cold-start graph — the completeness/granularity
+	// trade-off of the paper's §4.4, measured here on live data.
+	for _, k := range []int{1, 8} {
+		run := g.Clone()
+		res, err := vadalink.DetectFamilies(run, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recovered := 0
+		for _, gt := range it.Truth {
+			if isFamily(run, gt.X, gt.Y) {
+				recovered++
+			}
+		}
+		total := 0
+		for _, n := range res.Added {
+			total += n
+		}
+		naive := int64(run.NumNodes()) * int64(run.NumNodes()-1)
+		fmt.Printf("\nk=%d clusters: %d blocks, %d comparisons (%.2f%% of all-pairs)\n",
+			k, res.Blocks, res.Comparisons, 100*float64(res.Comparisons)/float64(naive))
+		fmt.Printf("  predicted %d family edges; recall vs plant: %d/%d = %.1f%%\n",
+			total, recovered, len(it.Truth), 100*float64(recovered)/float64(len(it.Truth)))
+	}
+}
+
+// isFamily reports whether any typed family edge connects the pair.
+func isFamily(g *vadalink.Graph, a, b vadalink.NodeID) bool {
+	for _, l := range []vadalink.Label{
+		vadalink.LabelPartnerOf, vadalink.LabelSiblingOf, vadalink.LabelParentOf,
+	} {
+		if g.HasEdge(l, a, b) || g.HasEdge(l, b, a) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+// Command kgserver starts the reasoning API of the §5 architecture over a
+// synthetic Italian company graph, so enterprise applications (or curl) can
+// query control, close links and accumulated ownership over HTTP.
+//
+// Usage:
+//
+//	kgserver [-addr :8080] [-persons 2000]
+//
+// Then e.g.:
+//
+//	curl localhost:8080/v1/stats
+//	curl localhost:8080/v1/control?node=12
+//	curl localhost:8080/v1/closelinks?t=0.2
+//	curl -X POST localhost:8080/v1/augment -d '{"classes":["family"],"clusters":8}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"vadalink"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	persons := flag.Int("persons", 2000, "persons in the generated graph")
+	flag.Parse()
+
+	it := vadalink.NewItalian(vadalink.ItalianConfig{Persons: *persons, Seed: 1})
+	log.Printf("serving reasoning API for a graph with %d nodes, %d edges on %s",
+		it.Graph.NumNodes(), it.Graph.NumEdges(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, vadalink.APIHandler(it.Graph)))
+}

@@ -1,0 +1,3 @@
+module vadalink
+
+go 1.22

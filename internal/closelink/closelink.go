@@ -1,0 +1,282 @@
+// Package closelink solves the Close Link (asset eligibility) problem of
+// Definitions 2.5 and 2.6 of the Vada-Link paper.
+//
+// The accumulated ownership Φ(x, y) of x over y is the sum, over all simple
+// paths from x to y, of the product of the share amounts along the path
+// (Definition 2.5). Two companies x and y are in a close-link relationship
+// for threshold t if Φ(x, y) ≥ t, Φ(y, x) ≥ t, or some third party z has
+// Φ(z, x) ≥ t and Φ(z, y) ≥ t (Definition 2.6 — the ECB "closely-linked
+// entity" rule with t = 0.20).
+//
+// The solver enumerates simple paths by depth-first search with an on-path
+// visited set, which matches Definition 2.5 exactly (the Datalog variant in
+// the vadalog package computes the geometric-series semantics instead; see
+// DESIGN.md for the discussion). Pruning options bound the exponential
+// worst case: contributions below MinProduct and paths longer than MaxDepth
+// are cut, both defaulting to values that are lossless on realistic company
+// graphs (share products decay geometrically).
+package closelink
+
+import (
+	"sort"
+
+	"vadalink/internal/pg"
+)
+
+// DefaultThreshold is the ECB regulation threshold: 20%.
+const DefaultThreshold = 0.2
+
+// Options tune the simple-path enumeration.
+type Options struct {
+	// MinProduct prunes paths whose accumulated product falls below this
+	// value; such paths can contribute at most MinProduct each. Zero means
+	// the default 1e-9.
+	MinProduct float64
+	// MaxDepth bounds path length in edges. Zero means the default 64.
+	MaxDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinProduct == 0 {
+		o.MinProduct = 1e-9
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 64
+	}
+	return o
+}
+
+// Accumulated computes Φ(x, y) per Definition 2.5.
+func Accumulated(g *pg.Graph, x, y pg.NodeID, opts Options) float64 {
+	return AccumulatedFrom(g, x, opts)[y]
+}
+
+// AccumulatedFrom computes Φ(x, ·) for every node reachable from x over
+// shareholding edges, in a single simple-path enumeration.
+func AccumulatedFrom(g *pg.Graph, x pg.NodeID, opts Options) map[pg.NodeID]float64 {
+	opts = opts.withDefaults()
+	acc := make(map[pg.NodeID]float64)
+	onPath := make(map[pg.NodeID]bool)
+	var dfs func(n pg.NodeID, product float64, depth int)
+	dfs = func(n pg.NodeID, product float64, depth int) {
+		if depth >= opts.MaxDepth {
+			return
+		}
+		onPath[n] = true
+		for _, e := range g.OutLabel(n, pg.LabelShareholding) {
+			w, ok := e.Weight()
+			if !ok {
+				continue
+			}
+			p := product * w
+			if p < opts.MinProduct {
+				continue
+			}
+			if onPath[e.To] {
+				// Revisiting a node on the current path would make the path
+				// non-simple (this also skips self-loops).
+				continue
+			}
+			acc[e.To] += p
+			dfs(e.To, p, depth+1)
+		}
+		onPath[n] = false
+	}
+	dfs(x, 1, 0)
+	return acc
+}
+
+// Pair is an unordered close-link pair, stored with A < B.
+type Pair struct {
+	A, B pg.NodeID
+}
+
+// Reason explains why a pair is closely linked.
+type Reason int
+
+// Close-link reasons, matching the three conditions of Definition 2.6.
+const (
+	ReasonDirect      Reason = iota // Φ(A,B) ≥ t or Φ(B,A) ≥ t
+	ReasonCommonOwner               // some z has Φ(z,A) ≥ t and Φ(z,B) ≥ t
+)
+
+// Link is a close-link finding.
+type Link struct {
+	Pair   Pair
+	Reason Reason
+	// Via is the common third party for ReasonCommonOwner.
+	Via pg.NodeID
+}
+
+// CloseLinks computes every close-link pair among companies for threshold t
+// (conditions (i)–(iii) of Definition 2.6). Persons are considered as
+// potential common third parties z but never as members of a reported pair.
+func CloseLinks(g *pg.Graph, t float64, opts Options) []Link {
+	if t <= 0 {
+		t = DefaultThreshold
+	}
+	isCompany := func(n pg.NodeID) bool { return g.Node(n).Label == pg.LabelCompany }
+
+	seen := make(map[Pair]bool)
+	var out []Link
+	add := func(a, b pg.NodeID, r Reason, via pg.NodeID) {
+		if a == b {
+			return
+		}
+		if b < a {
+			a, b = b, a
+		}
+		p := Pair{A: a, B: b}
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		out = append(out, Link{Pair: p, Reason: r, Via: via})
+	}
+
+	for _, z := range g.Nodes() {
+		if len(g.OutLabel(z, pg.LabelShareholding)) == 0 {
+			continue
+		}
+		acc := AccumulatedFrom(g, z, opts)
+		// Targets owned ≥ t by z.
+		var heavy []pg.NodeID
+		for y, v := range acc {
+			if v >= t && isCompany(y) {
+				heavy = append(heavy, y)
+			}
+		}
+		sort.Slice(heavy, func(i, j int) bool { return heavy[i] < heavy[j] })
+
+		// Condition (i)/(ii): z itself is a company owning ≥ t of y.
+		if isCompany(z) {
+			for _, y := range heavy {
+				add(z, y, ReasonDirect, z)
+			}
+		}
+		// Condition (iii): companies jointly heavily owned by z.
+		for i := 0; i < len(heavy); i++ {
+			for j := i + 1; j < len(heavy); j++ {
+				add(heavy[i], heavy[j], ReasonCommonOwner, z)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pair.A != out[j].Pair.A {
+			return out[i].Pair.A < out[j].Pair.A
+		}
+		return out[i].Pair.B < out[j].Pair.B
+	})
+	return out
+}
+
+// CommonOwners returns every entity z (person or company) whose accumulated
+// ownership reaches t in both x and y — the third parties that justify a
+// condition-(iii) close link, with their Φ values. This is the evidence a
+// compliance analyst attaches to an eligibility rejection.
+func CommonOwners(g *pg.Graph, x, y pg.NodeID, t float64, opts Options) []CommonOwner {
+	if t <= 0 {
+		t = DefaultThreshold
+	}
+	var out []CommonOwner
+	for _, z := range g.Nodes() {
+		if z == x || z == y {
+			continue
+		}
+		if len(g.OutLabel(z, pg.LabelShareholding)) == 0 {
+			continue
+		}
+		acc := AccumulatedFrom(g, z, opts)
+		if acc[x] >= t && acc[y] >= t {
+			out = append(out, CommonOwner{Owner: z, PhiX: acc[x], PhiY: acc[y]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+	return out
+}
+
+// CommonOwner is one common-third-party finding.
+type CommonOwner struct {
+	Owner      pg.NodeID
+	PhiX, PhiY float64
+}
+
+// FamilyCloseLinks implements the family extension (Algorithm 9): two
+// companies are closely linked when two *different* members i ≠ j of the same
+// family group have Φ(i, x) ≥ t and Φ(j, y) ≥ t. families maps a family
+// identifier to its member nodes.
+func FamilyCloseLinks(g *pg.Graph, families map[string][]pg.NodeID, t float64, opts Options) []Link {
+	if t <= 0 {
+		t = DefaultThreshold
+	}
+	isCompany := func(n pg.NodeID) bool { return g.Node(n).Label == pg.LabelCompany }
+	seen := make(map[Pair]bool)
+	var out []Link
+
+	famIDs := make([]string, 0, len(families))
+	for f := range families {
+		famIDs = append(famIDs, f)
+	}
+	sort.Strings(famIDs)
+
+	for _, f := range famIDs {
+		members := families[f]
+		// Heavy targets per member.
+		heavy := make([][]pg.NodeID, len(members))
+		for i, m := range members {
+			for y, v := range AccumulatedFrom(g, m, opts) {
+				if v >= t && isCompany(y) {
+					heavy[i] = append(heavy[i], y)
+				}
+			}
+			sort.Slice(heavy[i], func(a, b int) bool { return heavy[i][a] < heavy[i][b] })
+		}
+		for i := 0; i < len(members); i++ {
+			for j := 0; j < len(members); j++ {
+				if i == j {
+					continue
+				}
+				for _, x := range heavy[i] {
+					for _, y := range heavy[j] {
+						if x == y {
+							continue
+						}
+						a, b := x, y
+						if b < a {
+							a, b = b, a
+						}
+						p := Pair{A: a, B: b}
+						if seen[p] {
+							continue
+						}
+						seen[p] = true
+						out = append(out, Link{Pair: p, Reason: ReasonCommonOwner, Via: members[i]})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pair.A != out[j].Pair.A {
+			return out[i].Pair.A < out[j].Pair.A
+		}
+		return out[i].Pair.B < out[j].Pair.B
+	})
+	return out
+}
+
+// Annotate adds CloseLink edges (both directions, since close links are
+// symmetric per Definition 2.6) for every finding. It returns the number of
+// edges added.
+func Annotate(g *pg.Graph, t float64, opts Options) int {
+	added := 0
+	for _, l := range CloseLinks(g, t, opts) {
+		for _, d := range [][2]pg.NodeID{{l.Pair.A, l.Pair.B}, {l.Pair.B, l.Pair.A}} {
+			if !g.HasEdge(pg.LabelCloseLink, d[0], d[1]) {
+				g.MustAddEdge(pg.LabelCloseLink, d[0], d[1], nil)
+				added++
+			}
+		}
+	}
+	return added
+}

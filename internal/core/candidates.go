@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sort"
+
+	"vadalink/internal/closelink"
+	"vadalink/internal/control"
+	"vadalink/internal/family"
+	"vadalink/internal/pg"
+)
+
+// FamilyCandidate predicts personal connections (Algorithm 7) with the
+// Bayesian multi-feature classifier of the family package. It only compares
+// person–person pairs inside a block.
+type FamilyCandidate struct {
+	// Classifier decides pair linkage; nil uses family.NewMulti().
+	Classifier *family.Multi
+	// Only, when non-empty, restricts predictions to one link class.
+	Only pg.Label
+}
+
+// Class implements Candidate. A FamilyCandidate restricted to one class
+// reports it; the unrestricted variant reports the generic PartnerOf label
+// for bookkeeping although it emits all three family classes.
+func (f *FamilyCandidate) Class() pg.Label {
+	if f.Only != "" {
+		return f.Only
+	}
+	return pg.LabelPartnerOf
+}
+
+// Propose implements Candidate.
+func (f *FamilyCandidate) Propose(g *pg.Graph, block []pg.NodeID) []ProposedEdge {
+	clf := f.Classifier
+	if clf == nil {
+		clf = family.NewMulti()
+	}
+	var persons []pg.NodeID
+	for _, id := range block {
+		if n := g.Node(id); n != nil && n.Label == pg.LabelPerson {
+			persons = append(persons, id)
+		}
+	}
+	var out []ProposedEdge
+	for i := 0; i < len(persons); i++ {
+		pi := family.PersonFromNode(g.Node(persons[i]))
+		for j := 0; j < len(persons); j++ {
+			if i == j {
+				continue
+			}
+			pj := family.PersonFromNode(g.Node(persons[j]))
+			class, prob := clf.Classify(pi, pj)
+			if class == "" {
+				continue
+			}
+			label := pg.Label(class)
+			if f.Only != "" && label != f.Only {
+				continue
+			}
+			out = append(out, ProposedEdge{
+				From:  persons[i],
+				To:    persons[j],
+				Label: label,
+				Props: pg.Properties{"p": prob},
+			})
+		}
+	}
+	return out
+}
+
+// ControlCandidate predicts company-control links (Algorithm 5 /
+// Definition 2.3). Ownership chains may leave the block, so the fixpoint
+// runs on the full graph; only pairs whose two endpoints share the block are
+// emitted — the completeness/granularity trade-off Section 4.4 discusses.
+type ControlCandidate struct{}
+
+// Class implements Candidate.
+func (ControlCandidate) Class() pg.Label { return pg.LabelControl }
+
+// Propose implements Candidate.
+func (ControlCandidate) Propose(g *pg.Graph, block []pg.NodeID) []ProposedEdge {
+	inBlock := make(map[pg.NodeID]bool, len(block))
+	for _, id := range block {
+		inBlock[id] = true
+	}
+	var out []ProposedEdge
+	for _, x := range block {
+		if len(g.OutLabel(x, pg.LabelShareholding)) == 0 {
+			continue
+		}
+		for _, y := range control.Controls(g, x) {
+			if inBlock[y] {
+				out = append(out, ProposedEdge{From: x, To: y, Label: pg.LabelControl})
+			}
+		}
+	}
+	return out
+}
+
+// CloseLinkCandidate predicts close links (Algorithm 6 / Definition 2.6)
+// among block members, with accumulated ownership computed on the full
+// graph.
+type CloseLinkCandidate struct {
+	// Threshold t of Definition 2.6; 0 means the ECB default 0.2.
+	Threshold float64
+	Opts      closelink.Options
+}
+
+// Class implements Candidate.
+func (CloseLinkCandidate) Class() pg.Label { return pg.LabelCloseLink }
+
+// Propose implements Candidate.
+func (c CloseLinkCandidate) Propose(g *pg.Graph, block []pg.NodeID) []ProposedEdge {
+	t := c.Threshold
+	if t == 0 {
+		t = closelink.DefaultThreshold
+	}
+	inBlock := make(map[pg.NodeID]bool, len(block))
+	for _, id := range block {
+		inBlock[id] = true
+	}
+	var out []ProposedEdge
+	emit := func(a, b pg.NodeID) {
+		out = append(out,
+			ProposedEdge{From: a, To: b, Label: pg.LabelCloseLink},
+			ProposedEdge{From: b, To: a, Label: pg.LabelCloseLink})
+	}
+	seen := map[[2]pg.NodeID]bool{}
+	emitOnce := func(a, b pg.NodeID) {
+		if b < a {
+			a, b = b, a
+		}
+		k := [2]pg.NodeID{a, b}
+		if !seen[k] {
+			seen[k] = true
+			emit(a, b)
+		}
+	}
+	isCompany := func(n pg.NodeID) bool { return g.Node(n).Label == pg.LabelCompany }
+
+	for _, z := range block {
+		if len(g.OutLabel(z, pg.LabelShareholding)) == 0 {
+			continue
+		}
+		acc := closelink.AccumulatedFrom(g, z, c.Opts)
+		var heavy []pg.NodeID
+		for y, v := range acc {
+			if v >= t && inBlock[y] && isCompany(y) {
+				heavy = append(heavy, y)
+			}
+		}
+		sort.Slice(heavy, func(i, j int) bool { return heavy[i] < heavy[j] })
+		if isCompany(z) {
+			for _, y := range heavy {
+				emitOnce(z, y)
+			}
+		}
+		for i := 0; i < len(heavy); i++ {
+			for j := i + 1; j < len(heavy); j++ {
+				emitOnce(heavy[i], heavy[j])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,1224 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Builtin is a host function callable from rule bodies as #name(args...).
+type Builtin func(args []any) (any, error)
+
+// Options configure engine evaluation.
+type Options struct {
+	// MinAggDelta is the minimum improvement of a monotonic aggregate that
+	// triggers a new derivation. On cyclic inputs (e.g. accumulated ownership
+	// over share cycles) the exact fixpoint is a geometric limit; stopping at
+	// MinAggDelta guarantees termination with bounded error. Zero means the
+	// default of 1e-9.
+	MinAggDelta float64
+
+	// MaxRounds bounds the number of semi-naive rounds per stratum as a
+	// safety net. Zero means the default of 1_000_000.
+	MaxRounds int
+
+	// TraceFn, when set, receives one line per derived fact (debugging aid).
+	TraceFn func(string)
+
+	// Naive disables semi-naive delta restriction: every round re-evaluates
+	// every rule against the full store. Exists for the ablation benchmarks;
+	// results are identical, only slower.
+	Naive bool
+
+	// Provenance records, for every derived fact, the rule and the body
+	// facts that first produced it, enabling Explain — the paper's
+	// explainability claim ("Vada-Link decisions are explainable and
+	// unambiguous"). Costs memory proportional to the derived facts.
+	Provenance bool
+}
+
+// Derivation explains one derived fact: the rule that fired and the premises
+// (body facts) of its first derivation.
+type Derivation struct {
+	Rule     string // the rule's label and text
+	Premises []Fact
+}
+
+// Engine evaluates a Program over a growing fact store using a semi-naive
+// bottom-up chase, stratified on negation.
+type Engine struct {
+	prog     *Program
+	opts     Options
+	builtins map[string]Builtin
+
+	rels     map[string]*relation
+	strata   [][]int // rule indices per stratum, in evaluation order
+	ruleMeta []ruleMeta
+
+	aggState map[string]*aggGroup // keyed by ruleIdx|groupKey
+
+	rounds int // total semi-naive rounds of the last Run
+
+	// provenance state (Options.Provenance): first derivation per fact key,
+	// plus the premise stack of the evaluation in flight and the prior
+	// contributions of the active aggregate group.
+	prov        map[string]Derivation
+	curPremises []Fact
+	curRule     string
+	aggExtra    []Fact
+}
+
+// relation stores the facts of one predicate with a key set for set
+// semantics and per-position hash indexes for joins.
+type relation struct {
+	facts []Fact
+	keys  map[string]bool
+	index []map[string][]int // position → encoded value → fact indices
+}
+
+func newRelation() *relation {
+	return &relation{keys: make(map[string]bool)}
+}
+
+func (r *relation) insert(f Fact) bool {
+	k := f.Key()
+	if r.keys[k] {
+		return false
+	}
+	r.keys[k] = true
+	idx := len(r.facts)
+	r.facts = append(r.facts, f)
+	if r.index == nil && len(r.facts) == 1 {
+		r.index = make([]map[string][]int, len(f.Args))
+	}
+	for pos := range f.Args {
+		if pos >= len(r.index) {
+			break
+		}
+		if r.index[pos] == nil {
+			r.index[pos] = make(map[string][]int)
+		}
+		ev := encodeValue(f.Args[pos])
+		r.index[pos][ev] = append(r.index[pos][ev], idx)
+	}
+	return true
+}
+
+// ruleMeta is the per-rule evaluation plan computed at engine construction.
+type ruleMeta struct {
+	order     []int             // body literal evaluation order
+	headVars  []Variable        // universally-quantified head variables
+	existVars map[Variable]bool // head variables that are existential
+	aggIdx    int               // index (into order) of the aggregate literal, -1 if none
+	aggHead   int               // head atom defining the aggregation group
+	aggSkip   map[int]bool      // positions of aggHead holding the aggregate target
+}
+
+// aggGroup is the monotonic aggregation state of one (rule, group) pair.
+type aggGroup struct {
+	op      AggOp
+	contrib map[string]float64 // contributor key → current contribution
+	total   float64
+	init    bool
+	// premises accumulates the body facts of every contribution when
+	// provenance is on, so aggregate-based decisions explain completely
+	// (e.g. a control decision lists all the shareholdings in the sum, not
+	// just the one that crossed the threshold).
+	premises []Fact
+	premKeys map[string]bool
+}
+
+// NewEngine prepares a program for evaluation. It returns an error if a rule
+// is invalid or negation is not stratifiable.
+func NewEngine(prog *Program, opts Options) (*Engine, error) {
+	if opts.MinAggDelta == 0 {
+		opts.MinAggDelta = 1e-9
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 1_000_000
+	}
+	e := &Engine{
+		prog:     prog,
+		opts:     opts,
+		builtins: make(map[string]Builtin),
+		rels:     make(map[string]*relation),
+		aggState: make(map[string]*aggGroup),
+	}
+	if opts.Provenance {
+		e.prov = make(map[string]Derivation)
+	}
+	for i, r := range prog.Rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		meta, err := planRule(r)
+		if err != nil {
+			return nil, fmt.Errorf("datalog: rule %d (%s): %w", i, r.Label, err)
+		}
+		e.ruleMeta = append(e.ruleMeta, meta)
+	}
+	strata, err := stratify(prog)
+	if err != nil {
+		return nil, err
+	}
+	e.strata = strata
+	return e, nil
+}
+
+// RegisterBuiltin installs a host function callable as #name(...). Functions
+// whose name starts with "sk" fall back to Skolem application automatically
+// and need no registration.
+func (e *Engine) RegisterBuiltin(name string, fn Builtin) {
+	e.builtins[name] = fn
+}
+
+// Assert adds an extensional fact. It reports whether the fact is new.
+func (e *Engine) Assert(f Fact) bool {
+	return e.rel(f.Pred).insert(f)
+}
+
+// AssertAll adds many extensional facts.
+func (e *Engine) AssertAll(fs []Fact) {
+	for _, f := range fs {
+		e.Assert(f)
+	}
+}
+
+func (e *Engine) rel(pred string) *relation {
+	r, ok := e.rels[pred]
+	if !ok {
+		r = newRelation()
+		e.rels[pred] = r
+	}
+	return r
+}
+
+// Facts returns a copy of all facts of a predicate, sorted canonically.
+func (e *Engine) Facts(pred string) []Fact {
+	r, ok := e.rels[pred]
+	if !ok {
+		return nil
+	}
+	out := append([]Fact(nil), r.facts...)
+	SortFacts(out)
+	return out
+}
+
+// NumFacts reports the number of facts of a predicate.
+func (e *Engine) NumFacts(pred string) int {
+	if r, ok := e.rels[pred]; ok {
+		return len(r.facts)
+	}
+	return 0
+}
+
+// Has reports whether the exact ground fact is present.
+func (e *Engine) Has(f Fact) bool {
+	r, ok := e.rels[f.Pred]
+	return ok && r.keys[f.Key()]
+}
+
+// Match returns the facts of pred whose arguments equal the non-nil entries
+// of pattern (nil is a wildcard).
+func (e *Engine) Match(pred string, pattern ...any) []Fact {
+	r, ok := e.rels[pred]
+	if !ok {
+		return nil
+	}
+	var out []Fact
+	for _, f := range r.facts {
+		if len(f.Args) != len(pattern) {
+			continue
+		}
+		ok := true
+		for i, p := range pattern {
+			if p != nil && encodeValue(f.Args[i]) != encodeValue(p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, f)
+		}
+	}
+	SortFacts(out)
+	return out
+}
+
+// Binding is one answer to a Query: variable name → ground value.
+type Binding map[Variable]any
+
+// Query evaluates a conjunctive goal against the current fact store (run
+// the program first) and returns every satisfying binding of the goal's
+// variables. Goals may mix atoms and share variables, e.g.
+//
+//	control(X, Y), closelink(Y, Z)
+//
+// expressed as []Atom. Duplicate bindings are deduplicated.
+func (e *Engine) Query(goal ...Atom) []Binding {
+	var out []Binding
+	seen := map[string]bool{}
+	binding := make(map[Variable]any)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(goal) {
+			b := make(Binding, len(binding))
+			var key strings.Builder
+			vars := make([]Variable, 0, len(binding))
+			for v := range binding {
+				vars = append(vars, v)
+			}
+			sort.Slice(vars, func(a, b int) bool { return vars[a] < vars[b] })
+			for _, v := range vars {
+				b[v] = binding[v]
+				key.WriteString(string(v))
+				key.WriteByte('=')
+				key.WriteString(encodeValue(binding[v]))
+				key.WriteByte('|')
+			}
+			if !seen[key.String()] {
+				seen[key.String()] = true
+				out = append(out, b)
+			}
+			return
+		}
+		for _, f := range e.lookup(goal[i], binding) {
+			if undo, ok := bindAtom(goal[i], f, binding); ok {
+				rec(i + 1)
+				undo(binding)
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// MaxByGroup projects the facts of pred to the maximum value of column
+// valueCol per distinct combination of the groupCols. This extracts the
+// "final value" of a monotonic aggregation (Section 4: the final value of a
+// monotone aggregate is its maximum).
+func (e *Engine) MaxByGroup(pred string, valueCol int, groupCols ...int) []Fact {
+	r, ok := e.rels[pred]
+	if !ok {
+		return nil
+	}
+	best := make(map[string]Fact)
+	for _, f := range r.facts {
+		if valueCol >= len(f.Args) {
+			continue
+		}
+		v, ok := toFloat(f.Args[valueCol])
+		if !ok {
+			continue
+		}
+		var kb strings.Builder
+		for _, c := range groupCols {
+			kb.WriteString(encodeValue(f.Args[c]))
+			kb.WriteByte('|')
+		}
+		k := kb.String()
+		if cur, ok := best[k]; ok {
+			cv, _ := toFloat(cur.Args[valueCol])
+			if v <= cv {
+				continue
+			}
+		}
+		best[k] = f
+	}
+	out := make([]Fact, 0, len(best))
+	for _, f := range best {
+		out = append(out, f)
+	}
+	SortFacts(out)
+	return out
+}
+
+// Rounds reports the number of semi-naive rounds used by the last Run.
+func (e *Engine) Rounds() int { return e.rounds }
+
+// Explain returns the first derivation of a derived fact. It returns false
+// for extensional facts, unknown facts, or when the engine runs without
+// Options.Provenance.
+func (e *Engine) Explain(f Fact) (Derivation, bool) {
+	if e.prov == nil {
+		return Derivation{}, false
+	}
+	d, ok := e.prov[f.Key()]
+	return d, ok
+}
+
+// ExplainTree renders the full derivation tree of a fact as indented lines:
+// each derived premise expands recursively (up to maxDepth levels, ≤ 0
+// meaning 16); extensional premises are leaves. The result is the
+// human-readable "why" of a reasoning decision.
+func (e *Engine) ExplainTree(f Fact, maxDepth int) []string {
+	if maxDepth <= 0 {
+		maxDepth = 16
+	}
+	var out []string
+	seen := map[string]bool{}
+	var walk func(f Fact, depth int)
+	walk = func(f Fact, depth int) {
+		indent := strings.Repeat("  ", depth)
+		d, ok := e.Explain(f)
+		if !ok {
+			out = append(out, indent+f.String()+"   [given]")
+			return
+		}
+		out = append(out, indent+f.String()+"   [by "+ruleHead(d.Rule)+"]")
+		if depth >= maxDepth {
+			return
+		}
+		key := f.Key()
+		if seen[key] {
+			out = append(out, indent+"  …")
+			return
+		}
+		seen[key] = true
+		for _, p := range d.Premises {
+			walk(p, depth+1)
+		}
+	}
+	walk(f, 0)
+	return out
+}
+
+// ruleHead shortens a rule string to its label for tree rendering.
+func ruleHead(rule string) string {
+	if i := strings.Index(rule, ":"); i > 0 && i < 40 {
+		return rule[:i]
+	}
+	if len(rule) > 40 {
+		return rule[:40] + "…"
+	}
+	return rule
+}
+
+// Run evaluates the program to fixpoint (stratum by stratum).
+func (e *Engine) Run() error {
+	e.rounds = 0
+	for _, stratum := range e.strata {
+		if err := e.runStratum(stratum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) runStratum(ruleIdxs []int) error {
+	// Predicates derived inside this stratum: delta-tracking applies to them.
+	inStratum := make(map[string]bool)
+	for _, ri := range ruleIdxs {
+		for _, h := range e.prog.Rules[ri].Head {
+			inStratum[h.Pred] = true
+		}
+	}
+
+	// Round 0: evaluate every rule against the full store.
+	delta := make(map[string][]Fact)
+	addDerived := func(f Fact) {
+		if e.rel(f.Pred).insert(f) {
+			if e.opts.TraceFn != nil {
+				e.opts.TraceFn("derive " + f.String())
+			}
+			if e.prov != nil {
+				seen := map[string]bool{}
+				var premises []Fact
+				for _, p := range e.curPremises {
+					if k := p.Key(); !seen[k] {
+						seen[k] = true
+						premises = append(premises, p)
+					}
+				}
+				for _, p := range e.aggExtra {
+					if k := p.Key(); !seen[k] {
+						seen[k] = true
+						premises = append(premises, p)
+					}
+				}
+				e.prov[f.Key()] = Derivation{Rule: e.curRule, Premises: premises}
+			}
+			delta[f.Pred] = append(delta[f.Pred], f)
+		}
+	}
+	for _, ri := range ruleIdxs {
+		if err := e.evalRule(ri, nil, -1, addDerived); err != nil {
+			return err
+		}
+	}
+	e.rounds++
+
+	for len(delta) > 0 {
+		if e.rounds >= e.opts.MaxRounds {
+			return fmt.Errorf("datalog: exceeded MaxRounds=%d (non-terminating program?)", e.opts.MaxRounds)
+		}
+		prevDelta := delta
+		delta = make(map[string][]Fact)
+		if e.opts.Naive {
+			for _, ri := range ruleIdxs {
+				if err := e.evalRule(ri, nil, -1, addDerived); err != nil {
+					return err
+				}
+			}
+			e.rounds++
+			continue
+		}
+		for _, ri := range ruleIdxs {
+			rule := e.prog.Rules[ri]
+			// Semi-naive: for each positive body atom occurrence whose
+			// predicate is in this stratum and has a delta, re-evaluate the
+			// rule with that occurrence restricted to the delta. Overlap
+			// between occurrences is harmless under set semantics.
+			for li, l := range rule.Body {
+				if l.Kind != LitAtom || !inStratum[l.Atom.Pred] {
+					continue
+				}
+				df := prevDelta[l.Atom.Pred]
+				if len(df) == 0 {
+					continue
+				}
+				if err := e.evalRule(ri, df, li, addDerived); err != nil {
+					return err
+				}
+			}
+		}
+		e.rounds++
+	}
+	return nil
+}
+
+// evalRule evaluates one rule. If deltaLit >= 0, the body literal at that
+// index is restricted to deltaFacts (semi-naive evaluation).
+func (e *Engine) evalRule(ri int, deltaFacts []Fact, deltaLit int, emit func(Fact)) error {
+	rule := e.prog.Rules[ri]
+	meta := e.ruleMeta[ri]
+	binding := make(map[Variable]any)
+	if e.prov != nil {
+		e.curRule = rule.Label + ": " + rule.String()
+		e.curPremises = e.curPremises[:0]
+	}
+	return e.evalBody(ri, rule, meta, 0, binding, deltaFacts, deltaLit, emit)
+}
+
+func (e *Engine) evalBody(ri int, rule Rule, meta ruleMeta, pos int, binding map[Variable]any,
+	deltaFacts []Fact, deltaLit int, emit func(Fact)) error {
+
+	if pos == len(meta.order) {
+		return e.fireHead(ri, rule, meta, binding, emit)
+	}
+	li := meta.order[pos]
+	l := rule.Body[li]
+	switch l.Kind {
+	case LitAtom:
+		var candidates []Fact
+		if li == deltaLit {
+			candidates = deltaFacts
+		} else {
+			candidates = e.lookup(l.Atom, binding)
+		}
+		for _, f := range candidates {
+			undo, ok := bindAtom(l.Atom, f, binding)
+			if !ok {
+				continue
+			}
+			if e.prov != nil {
+				e.curPremises = append(e.curPremises, f)
+			}
+			if err := e.evalBody(ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit); err != nil {
+				return err
+			}
+			if e.prov != nil {
+				e.curPremises = e.curPremises[:len(e.curPremises)-1]
+			}
+			undo(binding)
+		}
+		return nil
+
+	case LitNot:
+		if e.existsMatch(l.Atom, binding) {
+			return nil
+		}
+		return e.evalBody(ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
+
+	case LitCmp:
+		lv, err := e.evalExpr(l.Left, binding)
+		if err != nil {
+			return err
+		}
+		rv, err := e.evalExpr(l.Right, binding)
+		if err != nil {
+			return err
+		}
+		if !compare(l.Cmp, lv, rv) {
+			return nil
+		}
+		return e.evalBody(ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
+
+	case LitAssign:
+		v, err := e.evalExpr(l.Expr, binding)
+		if err != nil {
+			return err
+		}
+		if old, bound := binding[l.Var]; bound {
+			// Re-assignment acts as an equality check.
+			if encodeValue(old) != encodeValue(v) {
+				return nil
+			}
+			return e.evalBody(ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
+		}
+		binding[l.Var] = v
+		err = e.evalBody(ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
+		delete(binding, l.Var)
+		return err
+
+	case LitAgg:
+		v, err := e.evalExpr(l.AggValue, binding)
+		if err != nil {
+			return err
+		}
+		fv, ok := toFloat(v)
+		if !ok {
+			return fmt.Errorf("datalog: rule %q: aggregate value %v is not numeric", rule.Label, v)
+		}
+		groupKey, err := e.groupKey(ri, rule, meta, binding)
+		if err != nil {
+			return err
+		}
+		contribKey := fmt.Sprintf("r%d|%s", ri, contributorKey(l.Contributors, binding))
+		total, changed := e.updateAgg(ri, groupKey, l.Agg, contribKey, fv)
+		if !changed {
+			// The contribution is absorbed without a new derivation, but its
+			// premises still belong to the group's explanation.
+			if e.prov != nil {
+				e.recordAggPremises(groupKey)
+			}
+			return nil
+		}
+		var savedExtra []Fact
+		if e.prov != nil {
+			st := e.aggState[groupKey]
+			savedExtra = e.aggExtra
+			// Prior contributions explain the running total; the current
+			// body facts are on curPremises already.
+			e.aggExtra = append(append([]Fact(nil), savedExtra...), st.premises...)
+			e.recordAggPremises(groupKey)
+		}
+		binding[l.Var] = total
+		err = e.evalBody(ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
+		delete(binding, l.Var)
+		if e.prov != nil {
+			e.aggExtra = savedExtra
+		}
+		return err
+	}
+	return fmt.Errorf("datalog: unknown literal kind %d", l.Kind)
+}
+
+// fireHead instantiates the head atoms under the binding, inventing nulls for
+// existential variables.
+func (e *Engine) fireHead(ri int, rule Rule, meta ruleMeta, binding map[Variable]any, emit func(Fact)) error {
+	var frontier string
+	if len(meta.existVars) > 0 {
+		frontier = frontierKey(ri, meta.headVars, binding)
+	}
+	for _, h := range rule.Head {
+		args := make([]any, len(h.Terms))
+		for i, t := range h.Terms {
+			switch tt := t.(type) {
+			case Constant:
+				args[i] = tt.Value
+			case Variable:
+				if v, ok := binding[tt]; ok {
+					args[i] = v
+				} else if meta.existVars[tt] {
+					args[i] = Null{ID: hashKey(frontier + "|" + string(tt))}
+				} else {
+					return fmt.Errorf("datalog: rule %q: head variable %s unbound", rule.Label, tt)
+				}
+			}
+		}
+		emit(Fact{Pred: h.Pred, Args: args})
+	}
+	return nil
+}
+
+func frontierKey(ri int, headVars []Variable, binding map[Variable]any) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "r%d", ri)
+	for _, v := range headVars {
+		if val, ok := binding[v]; ok {
+			sb.WriteByte('|')
+			sb.WriteString(string(v))
+			sb.WriteByte('=')
+			sb.WriteString(encodeValue(val))
+		}
+	}
+	return sb.String()
+}
+
+// groupKey identifies the aggregation group of a body match: the head atom's
+// predicate plus the values of its non-target arguments. Keying on the head
+// predicate (not the rule) lets the msum calls of several rules contribute to
+// one total, as the paper requires for Algorithm 8 ("the two monotonic
+// summations of Rules (2) and (3) contribute to the same total, one for each
+// (F, y) pair").
+func (e *Engine) groupKey(ri int, rule Rule, meta ruleMeta, binding map[Variable]any) (string, error) {
+	h := rule.Head[meta.aggHead]
+	var sb strings.Builder
+	sb.WriteString(h.Pred)
+	for i, t := range h.Terms {
+		sb.WriteByte('|')
+		if meta.aggSkip[i] {
+			sb.WriteByte('@') // target position: excluded from the group
+			continue
+		}
+		switch tt := t.(type) {
+		case Constant:
+			sb.WriteString(encodeValue(tt.Value))
+		case Variable:
+			val, ok := binding[tt]
+			if !ok {
+				return "", fmt.Errorf("datalog: rule %q: aggregation group variable %s unbound", rule.Label, tt)
+			}
+			sb.WriteString(encodeValue(val))
+		}
+	}
+	return sb.String(), nil
+}
+
+func contributorKey(vars []Variable, binding map[Variable]any) string {
+	var sb strings.Builder
+	for i, v := range vars {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		if val, ok := binding[v]; ok {
+			sb.WriteString(encodeValue(val))
+		}
+	}
+	return sb.String()
+}
+
+// recordAggPremises folds the current body premises into the aggregate
+// group's explanation set (deduplicated).
+func (e *Engine) recordAggPremises(groupKey string) {
+	st := e.aggState[groupKey]
+	if st == nil {
+		return
+	}
+	if st.premKeys == nil {
+		st.premKeys = map[string]bool{}
+	}
+	for _, p := range e.curPremises {
+		if k := p.Key(); !st.premKeys[k] {
+			st.premKeys[k] = true
+			st.premises = append(st.premises, p)
+		}
+	}
+}
+
+// updateAgg applies a contribution to the monotonic aggregate state of
+// (rule, group) and reports the new total plus whether it changed enough to
+// trigger a derivation. Contributions are keyed by contributor tuple: a
+// contributor counts once, at its best (maximal) contribution so far —
+// matching Vadalog's stateful msum with ⟨contributor⟩ notation.
+func (e *Engine) updateAgg(ri int, groupKey string, op AggOp, contribKey string, v float64) (float64, bool) {
+	key := groupKey
+	st, ok := e.aggState[key]
+	if !ok {
+		st = &aggGroup{op: op, contrib: make(map[string]float64)}
+		e.aggState[key] = st
+	}
+	eps := e.opts.MinAggDelta
+	cur, seen := st.contrib[contribKey]
+	switch op {
+	case AggSum:
+		if seen && v <= cur+eps {
+			return st.total, false
+		}
+		if !seen {
+			cur = 0
+		}
+		st.contrib[contribKey] = v
+		st.total += v - cur
+		st.init = true
+		return st.total, true
+	case AggCount:
+		if seen {
+			return st.total, false
+		}
+		st.contrib[contribKey] = 1
+		st.total++
+		st.init = true
+		return st.total, true
+	case AggMax:
+		if st.init && v <= st.total+eps {
+			if !seen || v > cur {
+				st.contrib[contribKey] = v
+			}
+			return st.total, false
+		}
+		st.contrib[contribKey] = v
+		st.total = v
+		st.init = true
+		return st.total, true
+	case AggMin:
+		if st.init && v >= st.total-eps {
+			return st.total, false
+		}
+		st.contrib[contribKey] = v
+		st.total = v
+		st.init = true
+		return st.total, true
+	case AggProd:
+		if seen && v <= cur+eps {
+			return st.total, false
+		}
+		if !st.init {
+			st.total = 1
+			st.init = true
+		}
+		if seen && cur != 0 {
+			st.total /= cur
+		}
+		st.contrib[contribKey] = v
+		st.total *= v
+		return st.total, true
+	}
+	return 0, false
+}
+
+// lookup returns candidate facts for an atom under the current binding,
+// using the best available positional index.
+func (e *Engine) lookup(a Atom, binding map[Variable]any) []Fact {
+	r, ok := e.rels[a.Pred]
+	if !ok {
+		return nil
+	}
+	bestPos, bestLen := -1, -1
+	var bestKey string
+	for i, t := range a.Terms {
+		var val any
+		switch tt := t.(type) {
+		case Constant:
+			val = tt.Value
+		case Variable:
+			v, bound := binding[tt]
+			if !bound {
+				continue
+			}
+			val = v
+		}
+		if i >= len(r.index) || r.index[i] == nil {
+			continue
+		}
+		k := encodeValue(val)
+		n := len(r.index[i][k])
+		if bestPos == -1 || n < bestLen {
+			bestPos, bestLen, bestKey = i, n, k
+		}
+	}
+	if bestPos >= 0 {
+		idxs := r.index[bestPos][bestKey]
+		out := make([]Fact, 0, len(idxs))
+		for _, i := range idxs {
+			out = append(out, r.facts[i])
+		}
+		return out
+	}
+	return r.facts
+}
+
+// existsMatch reports whether any stored fact unifies with the (fully bound)
+// atom.
+func (e *Engine) existsMatch(a Atom, binding map[Variable]any) bool {
+	for _, f := range e.lookup(a, binding) {
+		if undo, ok := bindAtom(a, f, binding); ok {
+			undo(binding)
+			return true
+		}
+	}
+	return false
+}
+
+// bindAtom unifies an atom with a fact under the binding. On success it
+// returns an undo function restoring the binding.
+func bindAtom(a Atom, f Fact, binding map[Variable]any) (func(map[Variable]any), bool) {
+	if len(a.Terms) != len(f.Args) || a.Pred != f.Pred {
+		return nil, false
+	}
+	var added []Variable
+	undo := func(b map[Variable]any) {
+		for _, v := range added {
+			delete(b, v)
+		}
+	}
+	for i, t := range a.Terms {
+		switch tt := t.(type) {
+		case Constant:
+			if encodeValue(tt.Value) != encodeValue(f.Args[i]) {
+				undo(binding)
+				return nil, false
+			}
+		case Variable:
+			if tt == "_" {
+				continue
+			}
+			if v, bound := binding[tt]; bound {
+				if encodeValue(v) != encodeValue(f.Args[i]) {
+					undo(binding)
+					return nil, false
+				}
+			} else {
+				binding[tt] = f.Args[i]
+				added = append(added, tt)
+			}
+		}
+	}
+	return undo, true
+}
+
+// evalExpr evaluates an expression under a binding.
+func (e *Engine) evalExpr(ex Expr, binding map[Variable]any) (any, error) {
+	switch x := ex.(type) {
+	case TermExpr:
+		switch t := x.Term.(type) {
+		case Constant:
+			return t.Value, nil
+		case Variable:
+			v, ok := binding[t]
+			if !ok {
+				return nil, fmt.Errorf("datalog: unbound variable %s in expression", t)
+			}
+			return v, nil
+		}
+	case BinExpr:
+		lv, err := e.evalExpr(x.L, binding)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := e.evalExpr(x.R, binding)
+		if err != nil {
+			return nil, err
+		}
+		lf, lok := toFloat(lv)
+		rf, rok := toFloat(rv)
+		if !lok || !rok {
+			if x.Op == '+' {
+				// String concatenation.
+				return fmt.Sprintf("%v%v", lv, rv), nil
+			}
+			return nil, fmt.Errorf("datalog: arithmetic on non-numeric values %v, %v", lv, rv)
+		}
+		switch x.Op {
+		case '+':
+			return lf + rf, nil
+		case '-':
+			return lf - rf, nil
+		case '*':
+			return lf * rf, nil
+		case '/':
+			if rf == 0 {
+				return nil, fmt.Errorf("datalog: division by zero")
+			}
+			return lf / rf, nil
+		}
+	case CallExpr:
+		args := make([]any, len(x.Args))
+		for i, a := range x.Args {
+			v, err := e.evalExpr(a, binding)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		if fn, ok := e.builtins[x.Name]; ok {
+			return fn(args)
+		}
+		if strings.HasPrefix(x.Name, "sk") {
+			return NewSkolem(x.Name, args...), nil
+		}
+		return nil, fmt.Errorf("datalog: unknown builtin #%s", x.Name)
+	}
+	return nil, fmt.Errorf("datalog: bad expression %v", ex)
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int64:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// compare applies a comparison operator with numeric coercion; non-numeric
+// values compare by canonical encoding (equality/ordering on strings).
+func compare(op CmpOp, l, r any) bool {
+	lf, lok := toFloat(l)
+	rf, rok := toFloat(r)
+	if lok && rok {
+		switch op {
+		case OpEq:
+			return lf == rf
+		case OpNeq:
+			return lf != rf
+		case OpLt:
+			return lf < rf
+		case OpLeq:
+			return lf <= rf
+		case OpGt:
+			return lf > rf
+		case OpGeq:
+			return lf >= rf
+		}
+	}
+	ls, rs := encodeValue(l), encodeValue(r)
+	switch op {
+	case OpEq:
+		return ls == rs
+	case OpNeq:
+		return ls != rs
+	case OpLt:
+		return ls < rs
+	case OpLeq:
+		return ls <= rs
+	case OpGt:
+		return ls > rs
+	case OpGeq:
+		return ls >= rs
+	}
+	return false
+}
+
+// planRule computes the evaluation plan: a greedy literal order (atoms as
+// they appear; assignments, conditions, negations and aggregates as soon as
+// their inputs are bound, aggregates after everything else they need), the
+// head variables, and the existential set.
+func planRule(r Rule) (ruleMeta, error) {
+	n := len(r.Body)
+	used := make([]bool, n)
+	bound := make(map[Variable]bool)
+	var order []int
+	aggIdx := -1
+
+	ready := func(l Literal) bool {
+		switch l.Kind {
+		case LitAtom:
+			return true
+		case LitAssign:
+			set := map[Variable]bool{}
+			l.Expr.vars(set)
+			for v := range set {
+				if !bound[v] {
+					return false
+				}
+			}
+			return true
+		case LitCmp:
+			set := map[Variable]bool{}
+			l.Left.vars(set)
+			l.Right.vars(set)
+			for v := range set {
+				if !bound[v] {
+					return false
+				}
+			}
+			return true
+		case LitNot:
+			set := map[Variable]bool{}
+			bodyVarsOfAtom(l.Atom, set)
+			for v := range set {
+				if !bound[v] {
+					return false
+				}
+			}
+			return true
+		case LitAgg:
+			set := map[Variable]bool{}
+			l.AggValue.vars(set)
+			for _, c := range l.Contributors {
+				set[c] = true
+			}
+			for v := range set {
+				if !bound[v] {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	markBound := func(l Literal) {
+		switch l.Kind {
+		case LitAtom:
+			bodyVarsOfAtom(l.Atom, bound)
+		case LitAssign, LitAgg:
+			bound[l.Var] = true
+		}
+	}
+
+	for len(order) < n {
+		progress := false
+		// Prefer non-atom literals that are ready (cheap filters first),
+		// except aggregates, which run as late as possible.
+		for pass := 0; pass < 3 && len(order) < n; pass++ {
+			for i := 0; i < n; i++ {
+				if used[i] {
+					continue
+				}
+				l := r.Body[i]
+				switch pass {
+				case 0: // ready filters/assignments
+					if (l.Kind == LitCmp || l.Kind == LitAssign || l.Kind == LitNot) && ready(l) {
+						used[i] = true
+						order = append(order, i)
+						markBound(l)
+						progress = true
+					}
+				case 1: // next positive atom in textual order
+					if l.Kind == LitAtom {
+						used[i] = true
+						order = append(order, i)
+						markBound(l)
+						progress = true
+						pass = -1 // restart filter pass after each atom
+					}
+				case 2: // aggregates once everything else is in place
+					if l.Kind == LitAgg && ready(l) {
+						used[i] = true
+						order = append(order, i)
+						markBound(l)
+						aggIdx = len(order) - 1
+						progress = true
+					}
+				}
+				if pass == -1 {
+					break
+				}
+			}
+		}
+		if !progress {
+			return ruleMeta{}, fmt.Errorf("cannot order body literals (unbound inputs): %s", r)
+		}
+	}
+
+	headVarSet := make(map[Variable]bool)
+	for _, h := range r.Head {
+		bodyVarsOfAtom(h, headVarSet)
+	}
+	var headVars []Variable
+	exist := make(map[Variable]bool)
+	for v := range headVarSet {
+		if bound[v] {
+			headVars = append(headVars, v)
+		} else {
+			exist[v] = true
+		}
+	}
+	sort.Slice(headVars, func(i, j int) bool { return headVars[i] < headVars[j] })
+
+	aggHead := 0
+	aggSkip := map[int]bool{}
+	if aggIdx >= 0 {
+		target := r.Body[order[aggIdx]].Var
+		// The group is defined by the first head atom mentioning the target;
+		// if none mentions it (e.g. the msum only feeds a condition, as in
+		// Algorithm 5), the whole first head atom is the group.
+		for hi, h := range r.Head {
+			mentions := false
+			for _, t := range h.Terms {
+				if v, ok := t.(Variable); ok && v == target {
+					mentions = true
+					break
+				}
+			}
+			if mentions {
+				aggHead = hi
+				break
+			}
+		}
+		for i, t := range r.Head[aggHead].Terms {
+			if v, ok := t.(Variable); ok && v == target {
+				aggSkip[i] = true
+			}
+		}
+	}
+	return ruleMeta{order: order, headVars: headVars, existVars: exist, aggIdx: aggIdx, aggHead: aggHead, aggSkip: aggSkip}, nil
+}
+
+// stratify partitions rules into strata such that negated predicates are
+// fully computed in earlier strata. It returns an error if a predicate
+// depends negatively on itself (directly or transitively through a cycle).
+func stratify(p *Program) ([][]int, error) {
+	// Predicate stratum numbers via the classic iterative algorithm.
+	stratum := make(map[string]int)
+	preds := make(map[string]bool)
+	for _, r := range p.Rules {
+		for _, h := range r.Head {
+			preds[h.Pred] = true
+		}
+		for _, l := range r.Body {
+			if l.Kind == LitAtom || l.Kind == LitNot {
+				preds[l.Atom.Pred] = true
+			}
+		}
+	}
+	maxStrata := len(preds) + 1
+	changed := true
+	for iter := 0; changed; iter++ {
+		if iter > maxStrata*len(p.Rules)+1 {
+			return nil, fmt.Errorf("datalog: program is not stratifiable (recursion through negation)")
+		}
+		changed = false
+		for _, r := range p.Rules {
+			for _, h := range r.Head {
+				hs := stratum[h.Pred]
+				for _, l := range r.Body {
+					switch l.Kind {
+					case LitAtom:
+						if s := stratum[l.Atom.Pred]; s > hs {
+							hs = s
+						}
+					case LitNot:
+						if s := stratum[l.Atom.Pred] + 1; s > hs {
+							hs = s
+						}
+					}
+				}
+				if hs > maxStrata {
+					return nil, fmt.Errorf("datalog: program is not stratifiable (recursion through negation)")
+				}
+				if hs != stratum[h.Pred] {
+					stratum[h.Pred] = hs
+					changed = true
+				}
+			}
+		}
+	}
+	// Group rules by the stratum of their head predicates (max over heads).
+	byStratum := make(map[int][]int)
+	maxS := 0
+	for i, r := range p.Rules {
+		s := 0
+		for _, h := range r.Head {
+			if stratum[h.Pred] > s {
+				s = stratum[h.Pred]
+			}
+		}
+		byStratum[s] = append(byStratum[s], i)
+		if s > maxS {
+			maxS = s
+		}
+	}
+	var out [][]int
+	for s := 0; s <= maxS; s++ {
+		if rules, ok := byStratum[s]; ok {
+			out = append(out, rules)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,35 @@
+package datalog
+
+import "testing"
+
+// FuzzParse hardens the rule parser: arbitrary input must either parse into
+// a program whose pretty-printed form re-parses, or return an error — never
+// panic or hang.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`edge(X, Y) -> path(X, Y).`,
+		`candidate(X, Z), own(Z, Y, W), S = msum(W, <Z>), S > 0.5 -> candidate(X, Y).`,
+		`person(N), Z = #skp(N) -> node(Z, N).`,
+		`a(X), not b(X) -> c(X).`,
+		`a(X, "str \" esc", 3.14, -2, true) -> b(X).`,
+		`% comment
+		 a(X) -> b(X).`,
+		`a(X) -> b(X)`,  // missing dot
+		`-> b(X).`,      // missing body
+		`a(X, -> b(X).`, // broken terms
+		`a(X), V = X + 2 * (Y - 1) / 3 -> b(V).`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// A successfully parsed program must pretty-print to parsable text.
+		if _, err := Parse(prog.String()); err != nil {
+			t.Fatalf("pretty-printed program does not re-parse: %v\n%s", err, prog.String())
+		}
+	})
+}

@@ -1,0 +1,552 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a program in the concrete Vadalog-like syntax used throughout
+// the paper's listings (Algorithms 2–9). The grammar, informally:
+//
+//	program  := (rule | comment)*
+//	rule     := body "->" head "."
+//	body     := literal ("," literal)*
+//	literal  := "not" atom | atom | assign | condition
+//	assign   := Var "=" expr            (assignment; re-assignment = equality)
+//	condition:= expr cmp expr            cmp ∈ { ==, !=, <, <=, >, >= }
+//	expr     := arithmetic over vars, constants, #builtin(...) calls and
+//	            aggregate calls  aggop(expr, <Var, ...>)
+//	            aggop ∈ { msum, mprod, mmax, mmin, mcount }
+//	head     := atom ("," atom)*
+//	atom     := pred "(" term ("," term)* ")"
+//	term     := Var | "_" | constant
+//
+// Variables start with an upper-case letter or '_'; predicate and function
+// names start lower-case. Constants are double-quoted strings, numbers, or
+// true/false. Comments run from '%' or "//" to end of line. Head variables
+// absent from the body are existential (the engine Skolemizes them).
+func Parse(src string) (*Program, error) {
+	lx := &lexer{src: src, line: 1}
+	toks, err := lx.lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.atEOF() {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; for statically-known programs.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tVar
+	tNum
+	tStr
+	tPunct // single or two-char operator, stored in text
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (l *lexer) lex() ([]token, error) {
+	var toks []token
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			toks = append(toks, token{kind: tEOF, line: l.line})
+			return toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '%' || (c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/'):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '"':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tStr, text: s, line: l.line})
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.' ||
+				l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+				((l.src[l.pos] == '+' || l.src[l.pos] == '-') && l.pos > start && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+				l.pos++
+			}
+			f, err := strconv.ParseFloat(l.src[start:l.pos], 64)
+			if err != nil {
+				return nil, fmt.Errorf("datalog: line %d: bad number %q", l.line, l.src[start:l.pos])
+			}
+			toks = append(toks, token{kind: tNum, num: f, line: l.line})
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			kind := tIdent
+			if unicode.IsUpper(rune(word[0])) || word[0] == '_' {
+				kind = tVar
+			}
+			toks = append(toks, token{kind: kind, text: word, line: l.line})
+		default:
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case "->", ">=", "<=", "!=", "==":
+				toks = append(toks, token{kind: tPunct, text: two, line: l.line})
+				l.pos += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '.', '<', '>', '=', '+', '-', '*', '/', '#':
+				toks = append(toks, token{kind: tPunct, text: string(c), line: l.line})
+				l.pos++
+			default:
+				return nil, fmt.Errorf("datalog: line %d: unexpected character %q", l.line, c)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\n' {
+			l.line++
+			l.pos++
+		} else if c == ' ' || c == '\t' || c == '\r' {
+			l.pos++
+		} else {
+			return
+		}
+	}
+}
+
+func (l *lexer) lexString() (string, error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return sb.String(), nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return "", fmt.Errorf("datalog: line %d: unterminated escape", l.line)
+			}
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				sb.WriteByte(l.src[l.pos])
+			}
+			l.pos++
+		case '\n':
+			return "", fmt.Errorf("datalog: line %d: newline in string literal", l.line)
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return "", fmt.Errorf("datalog: line %d: unterminated string", l.line)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.cur().kind == tEOF }
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != tPunct || t.text != s {
+		return fmt.Errorf("datalog: line %d: expected %q, got %q", t.line, s, tokenText(t))
+	}
+	return nil
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tPunct && t.text == s
+}
+
+func tokenText(t token) string {
+	switch t.kind {
+	case tEOF:
+		return "<eof>"
+	case tNum:
+		return strconv.FormatFloat(t.num, 'g', -1, 64)
+	case tStr:
+		return strconv.Quote(t.text)
+	default:
+		return t.text
+	}
+}
+
+var aggOps = map[string]AggOp{
+	"msum":   AggSum,
+	"mprod":  AggProd,
+	"mmax":   AggMax,
+	"mmin":   AggMin,
+	"mcount": AggCount,
+}
+
+func (p *parser) rule() (Rule, error) {
+	line := p.cur().line
+	var body []Literal
+	for {
+		lit, err := p.literal()
+		if err != nil {
+			return Rule{}, err
+		}
+		body = append(body, lit)
+		if p.isPunct(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("->"); err != nil {
+		return Rule{}, err
+	}
+	var head []Atom
+	for {
+		a, err := p.atom()
+		if err != nil {
+			return Rule{}, err
+		}
+		head = append(head, a)
+		if p.isPunct(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct("."); err != nil {
+		return Rule{}, err
+	}
+	return Rule{Head: head, Body: body, Label: fmt.Sprintf("line %d", line)}, nil
+}
+
+// literal parses one body literal.
+func (p *parser) literal() (Literal, error) {
+	t := p.cur()
+	if t.kind == tIdent && t.text == "not" {
+		p.next()
+		a, err := p.atom()
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Kind: LitNot, Atom: a}, nil
+	}
+	// Atom: ident followed by '('.
+	if t.kind == tIdent && p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == "(" {
+		if _, isAgg := aggOps[t.text]; !isAgg {
+			a, err := p.atom()
+			if err != nil {
+				return Literal{}, err
+			}
+			return Literal{Kind: LitAtom, Atom: a}, nil
+		}
+	}
+	// Assignment: Var '=' (aggregate | expr), where '=' is single (not '==').
+	if t.kind == tVar && p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == "=" {
+		v := Variable(t.text)
+		p.next() // var
+		p.next() // '='
+		if at := p.cur(); at.kind == tIdent {
+			if op, ok := aggOps[at.text]; ok && p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == "(" {
+				return p.aggregate(v, op)
+			}
+		}
+		e, err := p.expr()
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Kind: LitAssign, Var: v, Expr: e}, nil
+	}
+	// Otherwise: a comparison condition expr op expr.
+	left, err := p.expr()
+	if err != nil {
+		return Literal{}, err
+	}
+	opTok := p.next()
+	if opTok.kind != tPunct {
+		return Literal{}, fmt.Errorf("datalog: line %d: expected comparison operator, got %q", opTok.line, tokenText(opTok))
+	}
+	var op CmpOp
+	switch opTok.text {
+	case "==", "=":
+		op = OpEq
+	case "!=":
+		op = OpNeq
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLeq
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGeq
+	default:
+		return Literal{}, fmt.Errorf("datalog: line %d: expected comparison operator, got %q", opTok.line, opTok.text)
+	}
+	right, err := p.expr()
+	if err != nil {
+		return Literal{}, err
+	}
+	return Literal{Kind: LitCmp, Cmp: op, Left: left, Right: right}, nil
+}
+
+// aggregate parses aggop(expr [, <Var, ...>]) with the target variable v.
+func (p *parser) aggregate(v Variable, op AggOp) (Literal, error) {
+	p.next() // op name
+	if err := p.expectPunct("("); err != nil {
+		return Literal{}, err
+	}
+	val, err := p.expr()
+	if err != nil {
+		return Literal{}, err
+	}
+	var contributors []Variable
+	if p.isPunct(",") {
+		p.next()
+		if err := p.expectPunct("<"); err != nil {
+			return Literal{}, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tVar {
+				return Literal{}, fmt.Errorf("datalog: line %d: aggregate contributor must be a variable, got %q", t.line, tokenText(t))
+			}
+			contributors = append(contributors, Variable(t.text))
+			if p.isPunct(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(">"); err != nil {
+			return Literal{}, err
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return Literal{}, err
+	}
+	return Literal{Kind: LitAgg, Var: v, Agg: op, AggValue: val, Contributors: contributors}, nil
+}
+
+func (p *parser) atom() (Atom, error) {
+	t := p.next()
+	if t.kind != tIdent {
+		return Atom{}, fmt.Errorf("datalog: line %d: expected predicate name, got %q", t.line, tokenText(t))
+	}
+	pred := t.text
+	if err := p.expectPunct("("); err != nil {
+		return Atom{}, err
+	}
+	var terms []Term
+	if !p.isPunct(")") {
+		for {
+			tm, err := p.term()
+			if err != nil {
+				return Atom{}, err
+			}
+			terms = append(terms, tm)
+			if p.isPunct(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return Atom{}, err
+	}
+	return Atom{Pred: pred, Terms: terms}, nil
+}
+
+func (p *parser) term() (Term, error) {
+	t := p.next()
+	switch t.kind {
+	case tVar:
+		return Variable(t.text), nil
+	case tStr:
+		return Str(t.text), nil
+	case tNum:
+		return Num(t.num), nil
+	case tIdent:
+		switch t.text {
+		case "true":
+			return Bool(true), nil
+		case "false":
+			return Bool(false), nil
+		}
+		// Bare lower-case identifiers act as symbolic string constants, the
+		// way the paper writes Comp, Person, Shareholding in rules.
+		return Str(t.text), nil
+	case tPunct:
+		if t.text == "-" && p.cur().kind == tNum {
+			n := p.next()
+			return Num(-n.num), nil
+		}
+	}
+	return nil, fmt.Errorf("datalog: line %d: expected term, got %q", t.line, tokenText(t))
+}
+
+// expr parses additive expressions.
+func (p *parser) expr() (Expr, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("+") || p.isPunct("-") {
+		op := p.next().text[0]
+		right, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = BinExpr{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	left, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("*") || p.isPunct("/") {
+		op := p.next().text[0]
+		right, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		left = BinExpr{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tPunct && t.text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tPunct && t.text == "#":
+		p.next()
+		name := p.next()
+		if name.kind != tIdent {
+			return nil, fmt.Errorf("datalog: line %d: expected builtin name after #, got %q", name.line, tokenText(name))
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		if !p.isPunct(")") {
+			for {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.isPunct(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return CallExpr{Name: name.text, Args: args}, nil
+	case t.kind == tPunct && t.text == "-":
+		p.next()
+		e, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return BinExpr{Op: '-', L: TermExpr{Term: Num(0)}, R: e}, nil
+	case t.kind == tVar:
+		p.next()
+		return TermExpr{Term: Variable(t.text)}, nil
+	case t.kind == tNum:
+		p.next()
+		return TermExpr{Term: Num(t.num)}, nil
+	case t.kind == tStr:
+		p.next()
+		return TermExpr{Term: Str(t.text)}, nil
+	case t.kind == tIdent:
+		p.next()
+		switch t.text {
+		case "true":
+			return TermExpr{Term: Bool(true)}, nil
+		case "false":
+			return TermExpr{Term: Bool(false)}, nil
+		}
+		return TermExpr{Term: Str(t.text)}, nil
+	}
+	return nil, fmt.Errorf("datalog: line %d: expected expression, got %q", t.line, tokenText(t))
+}

@@ -1,0 +1,234 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasicRule(t *testing.T) {
+	prog, err := Parse(`edge(X, Y) -> path(X, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 {
+		t.Fatalf("rules = %d, want 1", len(prog.Rules))
+	}
+	r := prog.Rules[0]
+	if len(r.Body) != 1 || r.Body[0].Kind != LitAtom || r.Body[0].Atom.Pred != "edge" {
+		t.Errorf("bad body: %v", r.Body)
+	}
+	if len(r.Head) != 1 || r.Head[0].Pred != "path" {
+		t.Errorf("bad head: %v", r.Head)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+		% Prolog-style comment
+		// C-style comment
+		a(X) -> b(X). % trailing comment
+	`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 {
+		t.Errorf("rules = %d, want 1", len(prog.Rules))
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	prog, err := Parse(`a(X, "str with \"esc\"", 3.14, -2, true, sym) -> b(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := prog.Rules[0].Body[0].Atom.Terms
+	if s := terms[1].(Constant).Value.(string); s != `str with "esc"` {
+		t.Errorf("string const = %q", s)
+	}
+	if f := terms[2].(Constant).Value.(float64); f != 3.14 {
+		t.Errorf("num const = %v", f)
+	}
+	if f := terms[3].(Constant).Value.(float64); f != -2 {
+		t.Errorf("negative const = %v", f)
+	}
+	if b := terms[4].(Constant).Value.(bool); b != true {
+		t.Errorf("bool const = %v", b)
+	}
+	if s := terms[5].(Constant).Value.(string); s != "sym" {
+		t.Errorf("symbolic const = %q (bare identifiers are string constants)", s)
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	prog, err := Parse(`own(Z, Y, W), S = msum(W, <Z>), S > 0.5 -> ctrl(Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg *Literal
+	for i := range prog.Rules[0].Body {
+		if prog.Rules[0].Body[i].Kind == LitAgg {
+			agg = &prog.Rules[0].Body[i]
+		}
+	}
+	if agg == nil {
+		t.Fatal("no aggregate literal parsed")
+	}
+	if agg.Agg != AggSum || agg.Var != "S" {
+		t.Errorf("agg = %v %v", agg.Agg, agg.Var)
+	}
+	if len(agg.Contributors) != 1 || agg.Contributors[0] != "Z" {
+		t.Errorf("contributors = %v", agg.Contributors)
+	}
+}
+
+func TestParseAggregateAllOps(t *testing.T) {
+	src := `
+		a(X, W), S = msum(W, <X>) -> s(S).
+		a(X, W), S = mprod(W, <X>) -> p(S).
+		a(X, W), S = mmax(W, <X>) -> mx(S).
+		a(X, W), S = mmin(W, <X>) -> mn(S).
+		a(X, W), S = mcount(1, <X>) -> c(S).
+	`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []AggOp{AggSum, AggProd, AggMax, AggMin, AggCount}
+	for i, r := range prog.Rules {
+		found := false
+		for _, l := range r.Body {
+			if l.Kind == LitAgg {
+				if l.Agg != want[i] {
+					t.Errorf("rule %d: op = %v, want %v", i, l.Agg, want[i])
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("rule %d: no aggregate", i)
+		}
+	}
+}
+
+func TestParseBuiltinCall(t *testing.T) {
+	prog, err := Parse(`person(N), Z = #skp(N, "x") -> node(Z, N).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := prog.Rules[0].Body[1]
+	if as.Kind != LitAssign {
+		t.Fatalf("literal kind = %v, want assignment", as.Kind)
+	}
+	call, ok := as.Expr.(CallExpr)
+	if !ok || call.Name != "skp" || len(call.Args) != 2 {
+		t.Errorf("call = %#v", as.Expr)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	prog, err := Parse(`a(X, Y), V = X + Y * 2 -> b(V).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := prog.Rules[0].Body[1].Expr.(BinExpr)
+	if e.Op != '+' {
+		t.Fatalf("top op = %c, want +", e.Op)
+	}
+	if inner, ok := e.R.(BinExpr); !ok || inner.Op != '*' {
+		t.Errorf("right operand = %#v, want multiplication", e.R)
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	prog, err := Parse(`node(X), not covered(X) -> exposed(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Rules[0].Body[1].Kind != LitNot {
+		t.Errorf("second literal = %v, want negation", prog.Rules[0].Body[1])
+	}
+}
+
+func TestParseMultiHead(t *testing.T) {
+	prog, err := Parse(`own(X, Y, W) -> link(X, Y), typed(X, "owner").`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules[0].Head) != 2 {
+		t.Errorf("head atoms = %d, want 2", len(prog.Rules[0].Head))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`a(X) -> b(X)`,                  // missing dot
+		`a(X -> b(X).`,                  // unbalanced paren
+		`a(X) b(X).`,                    // missing arrow
+		`a("unterminated) -> b.`,        // unterminated string
+		`-> b(X).`,                      // empty body handled as error
+		`a(X) -> .`,                     // empty head
+		`a(X), S = msum(W, Z) -> b(S).`, // contributors need angle brackets
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", src)
+		}
+	}
+}
+
+func TestRuleStringRoundTrip(t *testing.T) {
+	src := `candidate(X, Z), own(Z, Y, W), S = msum(W, <Z>), S > 0.5 -> candidate(X, Y).`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := prog.Rules[0].String()
+	reparsed, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", printed, err)
+	}
+	if got := reparsed.Rules[0].String(); got != printed {
+		t.Errorf("round trip unstable:\n  1st: %s\n  2nd: %s", printed, got)
+	}
+}
+
+func TestProgramStringParsesBack(t *testing.T) {
+	src := `
+		company(X) -> candidate(X, X).
+		candidate(X, Z), own(Z, Y, W), S = msum(W, <Z>), S > 0.5 -> candidate(X, Y).
+		node(X), not covered(X) -> exposed(X).
+	`
+	prog := MustParse(src)
+	if _, err := Parse(prog.String()); err != nil {
+		t.Errorf("pretty-printed program does not parse: %v\n%s", err, prog.String())
+	}
+}
+
+func TestParseAnonVariable(t *testing.T) {
+	prog, err := Parse(`own(X, _, _) -> owner(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := prog.Rules[0].Body[0].Atom.Terms
+	if v, ok := terms[1].(Variable); !ok || v != "_" {
+		t.Errorf("term 1 = %#v, want anonymous variable", terms[1])
+	}
+}
+
+func TestParseLongProgram(t *testing.T) {
+	// The full control program from Algorithm 5 plus output mapping from
+	// Algorithm 4 parses as a unit.
+	src := strings.Repeat(`
+		company(X) -> candidate(X, X, "Control").
+		candidate(X, Z, "Control"), own(Z, Y, W), S = msum(W, <Z>), S > 0.5 -> candidate(X, Y, "Control").
+		link(Z, X, Y), edgetype(Z, "Control") -> control(X, Y).
+	`, 3)
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 9 {
+		t.Errorf("rules = %d, want 9", len(prog.Rules))
+	}
+}

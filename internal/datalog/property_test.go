@@ -1,0 +1,265 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refClosure computes transitive closure by Warshall, the reference for the
+// recursive Datalog program.
+func refClosure(n int, edges [][2]int) map[[2]int]bool {
+	reach := map[[2]int]bool{}
+	for _, e := range edges {
+		reach[e] = true
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if reach[[2]int{i, k}] && reach[[2]int{k, j}] {
+					reach[[2]int{i, j}] = true
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// Property: the engine's transitive closure equals Warshall's on random
+// digraphs.
+func TestClosureMatchesWarshallProperty(t *testing.T) {
+	src := `
+		edge(X, Y) -> path(X, Y).
+		path(X, Z), edge(Z, Y) -> path(X, Y).
+	`
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const n = 8
+		var edges [][2]int
+		var edb []Fact
+		for i := 0; i < 14; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			edges = append(edges, [2]int{a, b})
+			edb = append(edb, Fact{Pred: "edge", Args: []any{int64(a), int64(b)}})
+		}
+		want := refClosure(n, edges)
+		e, err := NewEngine(MustParse(src), Options{})
+		if err != nil {
+			return false
+		}
+		e.AssertAll(edb)
+		if err := e.Run(); err != nil {
+			return false
+		}
+		got := map[[2]int]bool{}
+		for _, fct := range e.Facts("path") {
+			got[[2]int{int(fct.Args[0].(int64)), int(fct.Args[1].(int64))}] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for p := range want {
+			if !got[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: naive and semi-naive evaluation derive identical fact sets.
+func TestNaiveEqualsSemiNaiveProperty(t *testing.T) {
+	src := `
+		edge(X, Y) -> path(X, Y).
+		path(X, Z), edge(Z, Y) -> path(X, Y).
+		path(X, Y), path(Y, X), X != Y -> scc(X, Y).
+	`
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var edb []Fact
+		for i := 0; i < 12; i++ {
+			edb = append(edb, Fact{Pred: "edge", Args: []any{int64(r.Intn(6)), int64(r.Intn(6))}})
+		}
+		run := func(naive bool) (int, int) {
+			e, _ := NewEngine(MustParse(src), Options{Naive: naive})
+			e.AssertAll(edb)
+			if err := e.Run(); err != nil {
+				return -1, -1
+			}
+			return e.NumFacts("path"), e.NumFacts("scc")
+		}
+		p1, s1 := run(false)
+		p2, s2 := run(true)
+		return p1 == p2 && s1 == s2 && p1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxByGroupSelectsMaxima(t *testing.T) {
+	e, _ := NewEngine(MustParse(`a(X, V) -> b(X, V).`), Options{})
+	e.AssertAll([]Fact{
+		{Pred: "a", Args: []any{"g1", 1.0}},
+		{Pred: "a", Args: []any{"g1", 3.0}},
+		{Pred: "a", Args: []any{"g1", 2.0}},
+		{Pred: "a", Args: []any{"g2", 5.0}},
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	finals := e.MaxByGroup("b", 1, 0)
+	if len(finals) != 2 {
+		t.Fatalf("finals = %v", finals)
+	}
+	want := map[string]float64{"g1": 3, "g2": 5}
+	for _, f := range finals {
+		if f.Args[1].(float64) != want[f.Args[0].(string)] {
+			t.Errorf("MaxByGroup(%v) = %v", f.Args[0], f.Args[1])
+		}
+	}
+}
+
+func TestEmptyProgramAndEDBOnly(t *testing.T) {
+	e, err := NewEngine(&Program{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Assert(Fact{Pred: "a", Args: []any{int64(1)}})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumFacts("a") != 1 {
+		t.Error("EDB lost")
+	}
+}
+
+func TestArityMismatchDoesNotUnify(t *testing.T) {
+	e, _ := NewEngine(MustParse(`a(X, Y) -> b(X, Y).`), Options{})
+	e.Assert(Fact{Pred: "a", Args: []any{int64(1)}})           // arity 1
+	e.Assert(Fact{Pred: "a", Args: []any{int64(1), int64(2)}}) // arity 2
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumFacts("b") != 1 {
+		t.Errorf("b facts = %d, want 1 (only the arity-2 a)", e.NumFacts("b"))
+	}
+}
+
+func TestStringComparisons(t *testing.T) {
+	e, _ := NewEngine(MustParse(`a(X), X != "skip" -> b(X).`), Options{})
+	e.AssertAll([]Fact{
+		{Pred: "a", Args: []any{"keep"}},
+		{Pred: "a", Args: []any{"skip"}},
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.NumFacts("b") != 1 {
+		t.Errorf("b = %v", e.Facts("b"))
+	}
+}
+
+func TestAssertDuplicateFactIdempotent(t *testing.T) {
+	e, _ := NewEngine(&Program{}, Options{})
+	f := Fact{Pred: "a", Args: []any{int64(1), "x"}}
+	if !e.Assert(f) {
+		t.Error("first assert returned false")
+	}
+	if e.Assert(f) {
+		t.Error("duplicate assert returned true")
+	}
+	if e.NumFacts("a") != 1 {
+		t.Errorf("facts = %d", e.NumFacts("a"))
+	}
+}
+
+func TestSortFactsDeterministic(t *testing.T) {
+	fs := []Fact{
+		{Pred: "b", Args: []any{int64(2)}},
+		{Pred: "a", Args: []any{int64(9)}},
+		{Pred: "a", Args: []any{int64(1)}},
+	}
+	SortFacts(fs)
+	if fs[0].Pred != "a" || fs[0].Args[0].(int64) != 1 {
+		t.Errorf("sorted = %v", fs)
+	}
+}
+
+func TestConstantStringRendering(t *testing.T) {
+	cases := map[string]Constant{
+		`"x"`:  Str("x"),
+		`1.5`:  Num(1.5),
+		`7`:    Int(7),
+		`true`: Bool(true),
+	}
+	for want, c := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Constant.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestQueryConjunctiveGoal(t *testing.T) {
+	e := run2(t, `
+		edge(X, Y) -> path(X, Y).
+		path(X, Z), edge(Z, Y) -> path(X, Y).
+	`, []Fact{
+		{Pred: "edge", Args: []any{"a", "b"}},
+		{Pred: "edge", Args: []any{"b", "c"}},
+		{Pred: "edge", Args: []any{"b", "d"}},
+	})
+	// Which nodes are reachable from a through b?
+	answers := e.Query(
+		Atom{Pred: "path", Terms: []Term{Str("a"), Variable("M")}},
+		Atom{Pred: "path", Terms: []Term{Variable("M"), Variable("Y")}},
+	)
+	got := map[string]bool{}
+	for _, b := range answers {
+		got[b["M"].(string)+"→"+b["Y"].(string)] = true
+	}
+	for _, want := range []string{"b→c", "b→d"} {
+		if !got[want] {
+			t.Errorf("missing answer %s; got %v", want, got)
+		}
+	}
+}
+
+func TestQueryGroundGoal(t *testing.T) {
+	e := run2(t, `edge(X, Y) -> path(X, Y).`, []Fact{
+		{Pred: "edge", Args: []any{"a", "b"}},
+	})
+	if n := len(e.Query(Atom{Pred: "path", Terms: []Term{Str("a"), Str("b")}})); n != 1 {
+		t.Errorf("ground goal answers = %d, want 1 (empty binding)", n)
+	}
+	if n := len(e.Query(Atom{Pred: "path", Terms: []Term{Str("b"), Str("a")}})); n != 0 {
+		t.Errorf("false goal answers = %d, want 0", n)
+	}
+}
+
+func TestQueryDeduplicates(t *testing.T) {
+	e := run2(t, `edge(X, Y) -> reach(X).`, []Fact{
+		{Pred: "edge", Args: []any{"a", "b"}},
+		{Pred: "edge", Args: []any{"a", "c"}},
+	})
+	if n := len(e.Query(Atom{Pred: "reach", Terms: []Term{Variable("X")}})); n != 1 {
+		t.Errorf("answers = %d, want 1 (deduplicated)", n)
+	}
+}
+
+// run2 mirrors the run helper from engine_test without Options.
+func run2(t *testing.T, src string, edb []Fact) *Engine {
+	t.Helper()
+	e, err := NewEngine(MustParse(src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AssertAll(edb)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

@@ -1,0 +1,172 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func provEngine(t *testing.T, src string, edb []Fact) *Engine {
+	t.Helper()
+	e, err := NewEngine(MustParse(src), Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AssertAll(edb)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestExplainSimpleDerivation(t *testing.T) {
+	e := provEngine(t, `edge(X, Y) -> path(X, Y).`, []Fact{
+		{Pred: "edge", Args: []any{"a", "b"}},
+	})
+	d, ok := e.Explain(Fact{Pred: "path", Args: []any{"a", "b"}})
+	if !ok {
+		t.Fatal("no derivation recorded")
+	}
+	if len(d.Premises) != 1 || d.Premises[0].Pred != "edge" {
+		t.Errorf("premises = %v", d.Premises)
+	}
+	if !strings.Contains(d.Rule, "path") {
+		t.Errorf("rule = %q", d.Rule)
+	}
+}
+
+func TestExplainExtensionalFactIsGiven(t *testing.T) {
+	e := provEngine(t, `edge(X, Y) -> path(X, Y).`, []Fact{
+		{Pred: "edge", Args: []any{"a", "b"}},
+	})
+	if _, ok := e.Explain(Fact{Pred: "edge", Args: []any{"a", "b"}}); ok {
+		t.Error("extensional fact has a derivation")
+	}
+	if _, ok := e.Explain(Fact{Pred: "nope", Args: []any{"x"}}); ok {
+		t.Error("unknown fact has a derivation")
+	}
+}
+
+func TestExplainRecursiveTree(t *testing.T) {
+	e := provEngine(t, `
+		edge(X, Y) -> path(X, Y).
+		path(X, Z), edge(Z, Y) -> path(X, Y).
+	`, []Fact{
+		{Pred: "edge", Args: []any{"a", "b"}},
+		{Pred: "edge", Args: []any{"b", "c"}},
+		{Pred: "edge", Args: []any{"c", "d"}},
+	})
+	tree := e.ExplainTree(Fact{Pred: "path", Args: []any{"a", "d"}}, 0)
+	if len(tree) < 4 {
+		t.Fatalf("tree too shallow: %v", tree)
+	}
+	joined := strings.Join(tree, "\n")
+	// The tree must bottom out in the three given edges.
+	for _, leaf := range []string{`edge("a", "b")`, `edge("b", "c")`, `edge("c", "d")`} {
+		if !strings.Contains(joined, leaf) {
+			t.Errorf("tree missing leaf %s:\n%s", leaf, joined)
+		}
+	}
+	if !strings.Contains(joined, "[given]") {
+		t.Error("leaves not marked [given]")
+	}
+}
+
+func TestExplainControlDecision(t *testing.T) {
+	// The paper's explainability claim on the control program: the engine
+	// can show why a controls c (via its majority in b).
+	src := `
+		company(X) -> ccand(X, X).
+		ccand(X, Z), own(Z, Y, W), X != Y, S = msum(W, <Z>), S > 0.5 -> ccand(X, Y).
+	`
+	e := provEngine(t, src, []Fact{
+		{Pred: "company", Args: []any{"a"}},
+		{Pred: "company", Args: []any{"b"}},
+		{Pred: "company", Args: []any{"c"}},
+		{Pred: "own", Args: []any{"a", "b", 0.6}},
+		{Pred: "own", Args: []any{"a", "c", 0.3}},
+		{Pred: "own", Args: []any{"b", "c", 0.3}},
+	})
+	d, ok := e.Explain(Fact{Pred: "ccand", Args: []any{"a", "c"}})
+	if !ok {
+		t.Fatal("control decision has no derivation")
+	}
+	// The decisive premise is an own fact into c.
+	foundOwn := false
+	for _, p := range d.Premises {
+		if p.Pred == "own" && p.Args[1] == "c" {
+			foundOwn = true
+		}
+	}
+	if !foundOwn {
+		t.Errorf("premises lack the deciding ownership: %v", d.Premises)
+	}
+	tree := e.ExplainTree(Fact{Pred: "ccand", Args: []any{"a", "c"}}, 0)
+	if len(tree) < 3 {
+		t.Errorf("explanation tree too small: %v", tree)
+	}
+}
+
+func TestExplainCycleDoesNotLoop(t *testing.T) {
+	e := provEngine(t, `
+		edge(X, Y) -> path(X, Y).
+		path(X, Z), edge(Z, Y) -> path(X, Y).
+	`, []Fact{
+		{Pred: "edge", Args: []any{"a", "b"}},
+		{Pred: "edge", Args: []any{"b", "a"}},
+	})
+	// Must terminate despite the cyclic derivations.
+	tree := e.ExplainTree(Fact{Pred: "path", Args: []any{"a", "a"}}, 0)
+	if len(tree) == 0 {
+		t.Fatal("empty tree")
+	}
+	if len(tree) > 200 {
+		t.Fatalf("tree suspiciously large (%d lines): cycle not cut", len(tree))
+	}
+}
+
+func TestProvenanceOffByDefault(t *testing.T) {
+	e, _ := NewEngine(MustParse(`edge(X, Y) -> path(X, Y).`), Options{})
+	e.Assert(Fact{Pred: "edge", Args: []any{"a", "b"}})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Explain(Fact{Pred: "path", Args: []any{"a", "b"}}); ok {
+		t.Error("provenance recorded without the option")
+	}
+}
+
+// TestExplainAggregateIncludesAllContributions: a control decision reached
+// through a monotonic sum must explain with every ownership in the winning
+// coalition, not just the contribution that crossed the threshold.
+func TestExplainAggregateIncludesAllContributions(t *testing.T) {
+	src := `
+		company(X) -> ccand(X, X).
+		ccand(X, Z), own(Z, Y, W), X != Y, S = msum(W, <Z>), S > 0.5 -> ccand(X, Y).
+	`
+	e := provEngine(t, src, []Fact{
+		{Pred: "company", Args: []any{"p"}},
+		{Pred: "company", Args: []any{"a"}},
+		{Pred: "company", Args: []any{"b"}},
+		{Pred: "company", Args: []any{"t"}},
+		{Pred: "own", Args: []any{"p", "a", 0.6}},
+		{Pred: "own", Args: []any{"p", "b", 0.6}},
+		{Pred: "own", Args: []any{"a", "t", 0.3}},
+		{Pred: "own", Args: []any{"b", "t", 0.3}},
+	})
+	d, ok := e.Explain(Fact{Pred: "ccand", Args: []any{"p", "t"}})
+	if !ok {
+		t.Fatal("no derivation for the joint-control decision")
+	}
+	seen := map[string]bool{}
+	for _, p := range d.Premises {
+		seen[p.Key()] = true
+	}
+	for _, want := range []Fact{
+		{Pred: "own", Args: []any{"a", "t", 0.3}},
+		{Pred: "own", Args: []any{"b", "t", 0.3}},
+	} {
+		if !seen[want.Key()] {
+			t.Errorf("aggregate explanation missing contribution %v; premises = %v", want, d.Premises)
+		}
+	}
+}

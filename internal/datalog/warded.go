@@ -1,0 +1,248 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the wardedness analysis for Datalog± programs.
+// Wardedness is the syntactic condition at the core of the Vadalog language
+// (Section 3 of the paper: "At the core of Vadalog, there is Warded Datalog
+// [...] there is the formal guarantee of polynomial complexity"): it bounds
+// how labeled nulls invented for existential variables may propagate through
+// recursion, keeping the chase PTIME in data complexity.
+//
+// Definitions (Gottlob & Pieris; Bellomarini, Sallinger, Gottlob):
+//
+//   - a position p[i] is *affected* if some rule can place a labeled null
+//     there: either a head atom carries an existential variable at that
+//     position, or it carries a universal variable all of whose body
+//     occurrences are at affected positions;
+//   - a body variable is *harmful* (in a rule) if every body occurrence is
+//     at an affected position — it may bind a null at chase time; otherwise
+//     it is harmless;
+//   - a harmful variable that also occurs in the head is *dangerous*;
+//   - a rule is *warded* if all its dangerous variables occur together in
+//     one body atom (the ward) and the ward shares only harmless variables
+//     with the rest of the body;
+//   - a program is warded if all its rules are.
+
+// PositionKey identifies a predicate argument position.
+type PositionKey struct {
+	Pred string
+	Pos  int
+}
+
+func (p PositionKey) String() string { return fmt.Sprintf("%s[%d]", p.Pred, p.Pos) }
+
+// WardedReport is the outcome of the wardedness analysis.
+type WardedReport struct {
+	// Warded is true when every rule is warded.
+	Warded bool
+	// Affected lists the affected positions, sorted.
+	Affected []PositionKey
+	// Violations lists the offending rules with explanations.
+	Violations []WardViolation
+}
+
+// WardViolation describes one non-warded rule.
+type WardViolation struct {
+	RuleIndex int
+	Rule      string
+	Reason    string
+	Dangerous []Variable
+}
+
+// CheckWarded analyses the program and reports whether it lies in the warded
+// fragment. EDB predicates (never in a head) have no affected positions.
+func CheckWarded(p *Program) WardedReport {
+	metas := make([]ruleMeta, len(p.Rules))
+	for i, r := range p.Rules {
+		// Recompute the existential sets the same way the engine does; an
+		// invalid rule is reported as a violation rather than a panic.
+		m, err := planRule(r)
+		if err != nil {
+			return WardedReport{Violations: []WardViolation{{
+				RuleIndex: i, Rule: r.String(), Reason: "rule does not plan: " + err.Error(),
+			}}}
+		}
+		metas[i] = m
+	}
+
+	affected := affectedPositions(p, metas)
+
+	report := WardedReport{Warded: true}
+	for pos := range affected {
+		report.Affected = append(report.Affected, pos)
+	}
+	sort.Slice(report.Affected, func(i, j int) bool {
+		if report.Affected[i].Pred != report.Affected[j].Pred {
+			return report.Affected[i].Pred < report.Affected[j].Pred
+		}
+		return report.Affected[i].Pos < report.Affected[j].Pos
+	})
+
+	for ri, r := range p.Rules {
+		if v, ok := checkRuleWarded(r, affected); !ok {
+			report.Warded = false
+			v.RuleIndex = ri
+			v.Rule = r.String()
+			report.Violations = append(report.Violations, v)
+		}
+	}
+	return report
+}
+
+// affectedPositions computes the least fixpoint of the affectedness rules.
+func affectedPositions(p *Program, metas []ruleMeta) map[PositionKey]bool {
+	affected := map[PositionKey]bool{}
+	for changed := true; changed; {
+		changed = false
+		for ri, r := range p.Rules {
+			meta := metas[ri]
+			for _, h := range r.Head {
+				for i, t := range h.Terms {
+					v, isVar := t.(Variable)
+					if !isVar {
+						continue
+					}
+					key := PositionKey{Pred: h.Pred, Pos: i}
+					if affected[key] {
+						continue
+					}
+					if meta.existVars[v] {
+						affected[key] = true
+						changed = true
+						continue
+					}
+					occs := bodyOccurrences(r, v)
+					if len(occs) > 0 && allAffected(occs, affected) {
+						affected[key] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return affected
+}
+
+// bodyOccurrences lists the positive-atom positions where v occurs in the
+// rule body. Variables bound by assignments or aggregates have no positional
+// occurrences: they hold computed values, never nulls, and are treated as
+// harmless by construction.
+func bodyOccurrences(r Rule, v Variable) []PositionKey {
+	var occs []PositionKey
+	for _, l := range r.Body {
+		if l.Kind != LitAtom {
+			continue
+		}
+		for i, t := range l.Atom.Terms {
+			if tv, ok := t.(Variable); ok && tv == v {
+				occs = append(occs, PositionKey{Pred: l.Atom.Pred, Pos: i})
+			}
+		}
+	}
+	return occs
+}
+
+func allAffected(occs []PositionKey, affected map[PositionKey]bool) bool {
+	for _, o := range occs {
+		if !affected[o] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkRuleWarded applies the per-rule ward condition.
+func checkRuleWarded(r Rule, affected map[PositionKey]bool) (WardViolation, bool) {
+	// Collect body variables of positive atoms and classify them.
+	assigned := map[Variable]bool{}
+	for _, l := range r.Body {
+		if l.Kind == LitAssign || l.Kind == LitAgg {
+			assigned[l.Var] = true
+		}
+	}
+	bodyVars := map[Variable]bool{}
+	for _, l := range r.Body {
+		if l.Kind == LitAtom {
+			bodyVarsOfAtom(l.Atom, bodyVars)
+		}
+	}
+	harmful := map[Variable]bool{}
+	for v := range bodyVars {
+		if v == "_" || assigned[v] {
+			continue
+		}
+		occs := bodyOccurrences(r, v)
+		if len(occs) > 0 && allAffected(occs, affected) {
+			harmful[v] = true
+		}
+	}
+	headVars := map[Variable]bool{}
+	for _, h := range r.Head {
+		bodyVarsOfAtom(h, headVars)
+	}
+	var dangerous []Variable
+	for v := range harmful {
+		if headVars[v] {
+			dangerous = append(dangerous, v)
+		}
+	}
+	sort.Slice(dangerous, func(i, j int) bool { return dangerous[i] < dangerous[j] })
+	if len(dangerous) == 0 {
+		return WardViolation{}, true
+	}
+
+	// Find a ward: one positive atom containing every dangerous variable and
+	// sharing only harmless variables with the rest of the body.
+	var reasons []string
+	for li, l := range r.Body {
+		if l.Kind != LitAtom {
+			continue
+		}
+		atomVars := map[Variable]bool{}
+		bodyVarsOfAtom(l.Atom, atomVars)
+		containsAll := true
+		for _, d := range dangerous {
+			if !atomVars[d] {
+				containsAll = false
+				break
+			}
+		}
+		if !containsAll {
+			continue
+		}
+		// Shared variables with other atoms must be harmless.
+		ok := true
+		for lj, other := range r.Body {
+			if lj == li || other.Kind != LitAtom {
+				continue
+			}
+			otherVars := map[Variable]bool{}
+			bodyVarsOfAtom(other.Atom, otherVars)
+			for v := range atomVars {
+				if otherVars[v] && harmful[v] {
+					ok = false
+					reasons = append(reasons, fmt.Sprintf(
+						"candidate ward %s shares harmful variable %s with %s",
+						l.Atom, v, other.Atom))
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return WardViolation{}, true
+		}
+	}
+	reason := fmt.Sprintf("dangerous variables %v do not fit in a single ward", dangerous)
+	if len(reasons) > 0 {
+		reason += " (" + strings.Join(reasons, "; ") + ")"
+	}
+	return WardViolation{Reason: reason, Dangerous: dangerous}, false
+}

@@ -1,0 +1,141 @@
+package family
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Metrics are the standard binary-classification quality numbers the paper
+// lists for validating link prediction models ("confusion matrix, accuracy,
+// precision, recall, ROC, AUC").
+type Metrics struct {
+	TP, FP, TN, FN int
+}
+
+// Accuracy is (TP+TN)/total.
+func (m Metrics) Accuracy() float64 {
+	total := m.TP + m.FP + m.TN + m.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(m.TP+m.TN) / float64(total)
+}
+
+// Precision is TP/(TP+FP).
+func (m Metrics) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall is TP/(TP+FN).
+func (m Metrics) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 0
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the confusion matrix and derived rates.
+func (m Metrics) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "confusion: TP=%d FP=%d TN=%d FN=%d\n", m.TP, m.FP, m.TN, m.FN)
+	fmt.Fprintf(&sb, "accuracy=%.3f precision=%.3f recall=%.3f F1=%.3f",
+		m.Accuracy(), m.Precision(), m.Recall(), m.F1())
+	return sb.String()
+}
+
+// Evaluate scores the classifier on labelled pairs at the 0.5 decision
+// threshold.
+func (c *Classifier) Evaluate(examples []LabelledPair) Metrics {
+	var m Metrics
+	for _, ex := range examples {
+		pred := c.Linked(ex.X, ex.Y)
+		switch {
+		case pred && ex.Linked:
+			m.TP++
+		case pred && !ex.Linked:
+			m.FP++
+		case !pred && ex.Linked:
+			m.FN++
+		default:
+			m.TN++
+		}
+	}
+	return m
+}
+
+// ROCPoint is one point of the receiver-operating-characteristic curve.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64 // true-positive rate (recall)
+	FPR       float64 // false-positive rate
+}
+
+// ROC computes the ROC curve of the classifier over labelled pairs: one
+// point per distinct predicted probability, sorted by descending threshold
+// (so FPR and TPR are non-decreasing along the curve).
+func (c *Classifier) ROC(examples []LabelledPair) []ROCPoint {
+	type scored struct {
+		p      float64
+		linked bool
+	}
+	var ss []scored
+	var positives, negatives int
+	for _, ex := range examples {
+		ss = append(ss, scored{p: c.LinkProbability(ex.X, ex.Y), linked: ex.Linked})
+		if ex.Linked {
+			positives++
+		} else {
+			negatives++
+		}
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i].p > ss[j].p })
+	var out []ROCPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(ss); {
+		j := i
+		for j < len(ss) && ss[j].p == ss[i].p {
+			if ss[j].linked {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		pt := ROCPoint{Threshold: ss[i].p}
+		if positives > 0 {
+			pt.TPR = float64(tp) / float64(positives)
+		}
+		if negatives > 0 {
+			pt.FPR = float64(fp) / float64(negatives)
+		}
+		out = append(out, pt)
+		i = j
+	}
+	return out
+}
+
+// AUC computes the area under the ROC curve by trapezoidal integration,
+// with the implicit (0,0) start and (1,1) end.
+func AUC(curve []ROCPoint) float64 {
+	prevFPR, prevTPR := 0.0, 0.0
+	var area float64
+	for _, pt := range curve {
+		area += (pt.FPR - prevFPR) * (pt.TPR + prevTPR) / 2
+		prevFPR, prevTPR = pt.FPR, pt.TPR
+	}
+	area += (1 - prevFPR) * (1 + prevTPR) / 2
+	return area
+}

@@ -1,0 +1,91 @@
+package family
+
+import (
+	"math"
+	"testing"
+)
+
+func evalExamples() []LabelledPair {
+	mario, luigi, anna := samplePersons()
+	giulia := Person{Name: "Giulia", Surname: "Rossi", Birth: 1990, Addr: "Via Garibaldi 12", City: "Roma"}
+	carlo := Person{Name: "Carlo", Surname: "Verdi", Birth: 1950, Addr: "Piazza Dante 1", City: "Napoli"}
+	pina := Person{Name: "Pina", Surname: "Russo", Birth: 1970, Addr: "Corso Italia 4", City: "Bari"}
+	return []LabelledPair{
+		{X: mario, Y: luigi, Linked: true},
+		{X: mario, Y: giulia, Linked: true},
+		{X: luigi, Y: giulia, Linked: true},
+		{X: mario, Y: anna, Linked: false},
+		{X: mario, Y: carlo, Linked: false},
+		{X: anna, Y: carlo, Linked: false},
+		{X: anna, Y: pina, Linked: false},
+		{X: carlo, Y: pina, Linked: false},
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	c := NewClassifier()
+	m := c.Evaluate(evalExamples())
+	if m.TP+m.FP+m.TN+m.FN != 8 {
+		t.Fatalf("confusion cells sum to %d, want 8", m.TP+m.FP+m.TN+m.FN)
+	}
+	if m.Recall() < 0.99 {
+		t.Errorf("recall = %.3f on clear positives, want 1.0\n%s", m.Recall(), m)
+	}
+	if m.Precision() < 0.99 {
+		t.Errorf("precision = %.3f on clear negatives, want 1.0\n%s", m.Precision(), m)
+	}
+	if m.Accuracy() < 0.99 || m.F1() < 0.99 {
+		t.Errorf("accuracy/F1 = %.3f/%.3f\n%s", m.Accuracy(), m.F1(), m)
+	}
+}
+
+func TestMetricsDegenerateCases(t *testing.T) {
+	var zero Metrics
+	if zero.Accuracy() != 0 || zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 {
+		t.Error("zero metrics must not divide by zero")
+	}
+	m := Metrics{TP: 5}
+	if m.Precision() != 1 || m.Recall() != 1 || m.F1() != 1 {
+		t.Errorf("all-TP metrics: %v", m)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	c := NewClassifier()
+	curve := c.ROC(evalExamples())
+	if len(curve) == 0 {
+		t.Fatal("empty ROC")
+	}
+	prevT := math.Inf(1)
+	prevTPR, prevFPR := 0.0, 0.0
+	for _, pt := range curve {
+		if pt.Threshold > prevT {
+			t.Errorf("thresholds not descending: %v after %v", pt.Threshold, prevT)
+		}
+		if pt.TPR < prevTPR || pt.FPR < prevFPR {
+			t.Errorf("ROC rates not monotone: %+v", pt)
+		}
+		prevT, prevTPR, prevFPR = pt.Threshold, pt.TPR, pt.FPR
+	}
+	// The final point covers all examples: TPR = FPR = 1.
+	last := curve[len(curve)-1]
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Errorf("ROC endpoint = %+v, want (1,1)", last)
+	}
+}
+
+func TestAUCGoodClassifier(t *testing.T) {
+	c := NewClassifier()
+	auc := AUC(c.ROC(evalExamples()))
+	if auc < 0.95 {
+		t.Errorf("AUC = %.3f on separable data, want ≈ 1", auc)
+	}
+}
+
+func TestAUCRandomClassifierIsHalf(t *testing.T) {
+	// A constant-score classifier yields the diagonal: AUC = 0.5.
+	curve := []ROCPoint{{Threshold: 0.5, TPR: 1, FPR: 1}}
+	if auc := AUC(curve); math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("constant-score AUC = %v, want 0.5", auc)
+	}
+}

@@ -1,0 +1,16 @@
+package family
+
+import "vadalink/internal/pg"
+
+// nodeGraph builds a single person node for PersonFromNode tests.
+func nodeGraph() *pg.Node {
+	g := pg.New()
+	id := g.AddNode(pg.LabelPerson, pg.Properties{
+		"name":    "Mario",
+		"surname": "Rossi",
+		"birth":   float64(1960),
+		"addr":    "Via Garibaldi 12",
+		"city":    "Roma",
+	})
+	return g.Node(id)
+}

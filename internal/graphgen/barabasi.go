@@ -1,0 +1,183 @@
+// Package graphgen generates the synthetic graphs of Section 6 of the
+// Vada-Link paper:
+//
+//   - Barabási–Albert scale-free graphs ("we built different artificial
+//     graphs by adopting Barabási algorithm for the generation of scale-free
+//     networks, varying the number of nodes and the graph density"), used by
+//     the Figure 4(b) and 4(d) experiments;
+//   - an Italian-company-like graph with realistic person/company features
+//     and planted family relationships, substituting for the proprietary
+//     Banca d'Italia database in the Figure 4(a), 4(c), 4(e) experiments and
+//     the Section 2 statistics profile (see DESIGN.md, substitutions).
+package graphgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vadalink/internal/pg"
+)
+
+// DensityLevel selects the edge density of a synthetic graph, matching the
+// four Figure 4(d) scenarios.
+type DensityLevel int
+
+// Density levels of the Figure 4(d) experiment.
+const (
+	Sparse DensityLevel = iota
+	Normal
+	Dense
+	Superdense
+)
+
+func (d DensityLevel) String() string {
+	switch d {
+	case Sparse:
+		return "sparse"
+	case Normal:
+		return "normal"
+	case Dense:
+		return "dense"
+	case Superdense:
+		return "superdense"
+	}
+	return "unknown"
+}
+
+// EdgesPerNode returns the Barabási–Albert m parameter for the level.
+func (d DensityLevel) EdgesPerNode() int {
+	switch d {
+	case Sparse:
+		return 1
+	case Normal:
+		return 2
+	case Dense:
+		return 5
+	case Superdense:
+		return 12
+	}
+	return 1
+}
+
+// BarabasiConfig configures the scale-free generator.
+type BarabasiConfig struct {
+	N    int   // nodes
+	M    int   // edges attached per new node (density)
+	Seed int64 //
+	// PersonFraction relabels this share of nodes as Person nodes with
+	// generated personal features, so the family-detection workload of
+	// Section 6 can run on the dense synthetic graphs of Figures 4(b) and
+	// 4(d). The resulting graphs deliberately stress-test the system and are
+	// not valid company graphs (persons may receive shareholding edges).
+	PersonFraction float64
+}
+
+// Barabasi generates a scale-free company graph with n nodes by preferential
+// attachment, each new node attaching m shareholding edges to existing nodes
+// with probability proportional to their degree. Edge weights are share
+// fractions normalized so the incoming shares of every company sum to at
+// most 1. Node features (6 random features, matching the paper's synthetic
+// setup) are drawn from simple distributions.
+func Barabasi(n, m int, seed int64) *pg.Graph {
+	return BarabasiWith(BarabasiConfig{N: n, M: m, Seed: seed})
+}
+
+// BarabasiWith is Barabasi with the full configuration.
+func BarabasiWith(cfg BarabasiConfig) *pg.Graph {
+	n, m := cfg.N, cfg.M
+	if m < 1 {
+		m = 1
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := pg.New()
+
+	ids := make([]pg.NodeID, 0, n)
+	// repeated holds node indices once per degree unit — sampling an element
+	// uniformly implements preferential attachment.
+	var repeated []pg.NodeID
+
+	for i := 0; i < n; i++ {
+		var id pg.NodeID
+		if r.Float64() < cfg.PersonFraction {
+			id = g.AddNode(pg.LabelPerson, pg.Properties{
+				"name":    firstNames[r.Intn(len(firstNames))],
+				"surname": surnames[r.Intn(len(surnames))],
+				"birth":   float64(1935 + r.Intn(70)),
+				"addr":    fmt.Sprintf("%s %d", streets[r.Intn(len(streets))], 1+r.Intn(200)),
+				"city":    cities[r.Intn(len(cities))],
+			})
+		} else {
+			id = g.AddNode(pg.LabelCompany, pg.Properties{
+				"name":   companyName(r),
+				"sector": sectors[r.Intn(len(sectors))],
+				"f1":     r.Float64(),
+				"f2":     r.Float64(),
+				"f3":     float64(r.Intn(100)),
+				"f4":     sectors[r.Intn(len(sectors))],
+				"f5":     float64(1950 + r.Intn(70)),
+				"f6":     r.NormFloat64(),
+			})
+		}
+		ids = append(ids, id)
+		targets := map[pg.NodeID]bool{}
+		for k := 0; k < m && len(ids) > 1; k++ {
+			var to pg.NodeID
+			if len(repeated) == 0 {
+				to = ids[r.Intn(len(ids)-1)]
+			} else {
+				to = repeated[r.Intn(len(repeated))]
+			}
+			if to == id || targets[to] {
+				continue
+			}
+			targets[to] = true
+			g.MustAddEdge(pg.LabelShareholding, id, to,
+				pg.Properties{pg.WeightProp: 0.05 + 0.95*r.Float64()})
+			repeated = append(repeated, to, id)
+		}
+	}
+	NormalizeShares(g)
+	return g
+}
+
+// NormalizeShares rescales the incoming shareholding weights of every node
+// whose total exceeds 1 so they sum to exactly 1, preserving proportions —
+// the company-graph invariant that no more than 100% of a company is owned.
+func NormalizeShares(g *pg.Graph) {
+	for _, id := range g.Nodes() {
+		var sum float64
+		var edges []*pg.Edge
+		for _, e := range g.InLabel(id, pg.LabelShareholding) {
+			if w, ok := e.Weight(); ok {
+				sum += w
+				edges = append(edges, e)
+			}
+		}
+		if sum <= 1 {
+			continue
+		}
+		for _, e := range edges {
+			w, _ := e.Weight()
+			e.Props[pg.WeightProp] = w / sum
+		}
+	}
+}
+
+var sectors = []string{
+	"manufacturing", "finance", "retail", "agriculture", "energy",
+	"construction", "transport", "technology", "tourism", "health",
+}
+
+var companySyllables = []string{
+	"ital", "tec", "fin", "co", "gen", "ser", "pro", "al", "mec", "tra",
+	"ver", "lux", "ban", "mar", "ter", "nor", "sud", "est", "ovest", "gra",
+}
+
+func companyName(r *rand.Rand) string {
+	n := 2 + r.Intn(2)
+	name := ""
+	for i := 0; i < n; i++ {
+		name += companySyllables[r.Intn(len(companySyllables))]
+	}
+	return name + " s.p.a."
+}

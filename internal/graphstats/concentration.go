@@ -1,0 +1,84 @@
+package graphstats
+
+import (
+	"math"
+	"sort"
+
+	"vadalink/internal/pg"
+)
+
+// Concentration summarizes how concentrated company ownership is — the
+// lens supervision economists apply to ownership graphs (the "real
+// dispersion of control" study the paper's introduction cites).
+type Concentration struct {
+	// Companies with at least one registered shareholder.
+	CompaniesWithOwners int
+	// MeanHHI is the mean Herfindahl–Hirschman index of the per-company
+	// direct-ownership distribution: Σ shareᵢ² over registered shares,
+	// 1 = sole owner, →0 = fully dispersed.
+	MeanHHI float64
+	// MedianHHI is the median of the same distribution.
+	MedianHHI float64
+	// SoleOwner counts companies with a single shareholder owning 100%.
+	SoleOwner int
+	// MajorityHeld counts companies where some single direct shareholder
+	// holds strictly more than 50%.
+	MajorityHeld int
+	// MeanTopShare is the mean of the largest direct share per company.
+	MeanTopShare float64
+}
+
+// ComputeConcentration derives the ownership-concentration profile from the
+// direct shareholding structure.
+func ComputeConcentration(g *pg.Graph) Concentration {
+	var c Concentration
+	var hhis []float64
+	var topSum float64
+	for _, id := range g.NodesWithLabel(pg.LabelCompany) {
+		var shares []float64
+		for _, e := range g.InLabel(id, pg.LabelShareholding) {
+			if e.From == e.To {
+				continue // buy-backs are not external ownership
+			}
+			if w, ok := e.Weight(); ok && w > 0 {
+				shares = append(shares, w)
+			}
+		}
+		if len(shares) == 0 {
+			continue
+		}
+		c.CompaniesWithOwners++
+		var hhi, top float64
+		for _, s := range shares {
+			hhi += s * s
+			if s > top {
+				top = s
+			}
+		}
+		hhis = append(hhis, hhi)
+		topSum += top
+		if len(shares) == 1 && math.Abs(shares[0]-1) < 1e-9 {
+			c.SoleOwner++
+		}
+		if top > 0.5 {
+			c.MajorityHeld++
+		}
+	}
+	if len(hhis) == 0 {
+		return c
+	}
+	var sum float64
+	for _, h := range hhis {
+		sum += h
+	}
+	c.MeanHHI = sum / float64(len(hhis))
+	sort.Float64s(hhis)
+	mid := len(hhis) / 2
+	if len(hhis)%2 == 1 {
+		c.MedianHHI = hhis[mid]
+	} else {
+		c.MedianHHI = (hhis[mid-1] + hhis[mid]) / 2
+	}
+	c.MeanTopShare = topSum / float64(c.CompaniesWithOwners)
+	return c
+}

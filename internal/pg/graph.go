@@ -1,0 +1,391 @@
+// Package pg implements the property-graph data model of Definition 2.1 of
+// the Vada-Link paper: a finite set of nodes and edges, a binary incidence
+// function, a partial labelling function, and a partial property function
+// mapping (element, property) pairs to values.
+//
+// The concrete Company Graph of Definition 2.2 is built on top of this model:
+// nodes labelled Company or Person, edges labelled Shareholding carrying a
+// share amount in (0, 1].
+package pg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Label is a node or edge label (schema-level concept; maps to a predicate
+// name in the relational representation of Section 3).
+type Label string
+
+// Well-known labels for the company graph of Definition 2.2.
+const (
+	LabelCompany      Label = "Company"
+	LabelPerson       Label = "Person"
+	LabelShareholding Label = "Shareholding"
+
+	// Labels for predicted (intensional) edges.
+	LabelControl   Label = "Control"
+	LabelCloseLink Label = "CloseLink"
+	LabelPartnerOf Label = "PartnerOf"
+	LabelSiblingOf Label = "SiblingOf"
+	LabelParentOf  Label = "ParentOf"
+	LabelFamily    Label = "Family"
+)
+
+// NodeID identifies a node. IDs are assigned by the graph and stable for its
+// lifetime.
+type NodeID int64
+
+// EdgeID identifies an edge.
+type EdgeID int64
+
+// Value is a property value: string, float64, int64 or bool.
+type Value = any
+
+// Properties maps property names to values (the σ function restricted to one
+// element).
+type Properties map[string]Value
+
+// Node is a labelled node with properties.
+type Node struct {
+	ID    NodeID
+	Label Label
+	Props Properties
+}
+
+// Edge is a labelled, directed edge with properties. For shareholding edges
+// the property "w" holds the share amount σ(e, w) ∈ (0, 1].
+type Edge struct {
+	ID    EdgeID
+	Label Label
+	From  NodeID
+	To    NodeID
+	Props Properties
+}
+
+// WeightProp is the property name of the share amount on shareholding edges.
+const WeightProp = "w"
+
+// Weight returns the edge weight property (share fraction) and whether it is
+// set to a float64.
+func (e *Edge) Weight() (float64, bool) {
+	v, ok := e.Props[WeightProp]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	return f, ok
+}
+
+// Graph is an in-memory property graph. The zero value is not usable; create
+// graphs with New. Graph is not safe for concurrent mutation; concurrent
+// reads are safe once mutation stops.
+type Graph struct {
+	nodes map[NodeID]*Node
+	edges map[EdgeID]*Edge
+
+	nextNode NodeID
+	nextEdge EdgeID
+
+	out map[NodeID][]EdgeID // outgoing adjacency
+	in  map[NodeID][]EdgeID // incoming adjacency
+
+	byNodeLabel map[Label][]NodeID
+	byEdgeLabel map[Label][]EdgeID
+}
+
+// New returns an empty property graph.
+func New() *Graph {
+	return &Graph{
+		nodes:       make(map[NodeID]*Node),
+		edges:       make(map[EdgeID]*Edge),
+		out:         make(map[NodeID][]EdgeID),
+		in:          make(map[NodeID][]EdgeID),
+		byNodeLabel: make(map[Label][]NodeID),
+		byEdgeLabel: make(map[Label][]EdgeID),
+	}
+}
+
+// AddNode inserts a node with the given label and properties and returns its
+// ID. Props may be nil.
+func (g *Graph) AddNode(label Label, props Properties) NodeID {
+	id := g.nextNode
+	g.nextNode++
+	if props == nil {
+		props = Properties{}
+	}
+	g.nodes[id] = &Node{ID: id, Label: label, Props: props}
+	g.byNodeLabel[label] = append(g.byNodeLabel[label], id)
+	return id
+}
+
+// AddEdge inserts a directed edge from → to and returns its ID. It returns an
+// error if either endpoint does not exist.
+func (g *Graph) AddEdge(label Label, from, to NodeID, props Properties) (EdgeID, error) {
+	if _, ok := g.nodes[from]; !ok {
+		return 0, fmt.Errorf("pg: add edge: unknown source node %d", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return 0, fmt.Errorf("pg: add edge: unknown target node %d", to)
+	}
+	id := g.nextEdge
+	g.nextEdge++
+	if props == nil {
+		props = Properties{}
+	}
+	g.edges[id] = &Edge{ID: id, Label: label, From: from, To: to, Props: props}
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	g.byEdgeLabel[label] = append(g.byEdgeLabel[label], id)
+	return id, nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for tests and
+// generators where endpoints are known to exist.
+func (g *Graph) MustAddEdge(label Label, from, to NodeID, props Properties) EdgeID {
+	id, err := g.AddEdge(label, from, to, props)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// AddShare inserts a Shareholding edge with weight w.
+func (g *Graph) AddShare(from, to NodeID, w float64) (EdgeID, error) {
+	return g.AddEdge(LabelShareholding, from, to, Properties{WeightProp: w})
+}
+
+// MustAddEdgeWeighted inserts a Shareholding edge with weight w, panicking
+// on unknown endpoints; for tests and generators.
+func (g *Graph) MustAddEdgeWeighted(from, to NodeID, w float64) EdgeID {
+	id, err := g.AddShare(from, to, w)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// RemoveEdge deletes an edge. Removing a missing edge is a no-op returning
+// false.
+func (g *Graph) RemoveEdge(id EdgeID) bool {
+	e, ok := g.edges[id]
+	if !ok {
+		return false
+	}
+	delete(g.edges, id)
+	g.out[e.From] = removeID(g.out[e.From], id)
+	g.in[e.To] = removeID(g.in[e.To], id)
+	g.byEdgeLabel[e.Label] = removeID(g.byEdgeLabel[e.Label], id)
+	return true
+}
+
+func removeID[T comparable](s []T, x T) []T {
+	for i, v := range s {
+		if v == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Edge returns the edge with the given ID, or nil.
+func (g *Graph) Edge(id EdgeID) *Edge { return g.edges[id] }
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges reports the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Nodes returns all node IDs in ascending order.
+func (g *Graph) Nodes() []NodeID {
+	ids := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Edges returns all edge IDs in ascending order.
+func (g *Graph) Edges() []EdgeID {
+	ids := make([]EdgeID, 0, len(g.edges))
+	for id := range g.edges {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// NodesWithLabel returns the IDs of all nodes carrying the label, in
+// insertion order.
+func (g *Graph) NodesWithLabel(label Label) []NodeID {
+	return append([]NodeID(nil), g.byNodeLabel[label]...)
+}
+
+// EdgesWithLabel returns the IDs of all live edges carrying the label, in
+// insertion order.
+func (g *Graph) EdgesWithLabel(label Label) []EdgeID {
+	ids := g.byEdgeLabel[label]
+	res := make([]EdgeID, 0, len(ids))
+	for _, id := range ids {
+		if _, ok := g.edges[id]; ok {
+			res = append(res, id)
+		}
+	}
+	return res
+}
+
+// Out returns the outgoing edge IDs of a node.
+func (g *Graph) Out(id NodeID) []EdgeID { return g.out[id] }
+
+// In returns the incoming edge IDs of a node.
+func (g *Graph) In(id NodeID) []EdgeID { return g.in[id] }
+
+// OutLabel returns the outgoing edges of n restricted to one label.
+func (g *Graph) OutLabel(n NodeID, label Label) []*Edge {
+	var res []*Edge
+	for _, eid := range g.out[n] {
+		if e := g.edges[eid]; e != nil && e.Label == label {
+			res = append(res, e)
+		}
+	}
+	return res
+}
+
+// InLabel returns the incoming edges of n restricted to one label.
+func (g *Graph) InLabel(n NodeID, label Label) []*Edge {
+	var res []*Edge
+	for _, eid := range g.in[n] {
+		if e := g.edges[eid]; e != nil && e.Label == label {
+			res = append(res, e)
+		}
+	}
+	return res
+}
+
+// HasEdge reports whether an edge with the given label exists from → to.
+func (g *Graph) HasEdge(label Label, from, to NodeID) bool {
+	for _, eid := range g.out[from] {
+		e := g.edges[eid]
+		if e != nil && e.Label == label && e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighborhood returns the induced subgraph around a node: every node within
+// the given number of hops (edges followed in both directions) plus all the
+// edges among them. Node and edge identities are freshly assigned; the
+// returned mapping translates original → subgraph node IDs. The ego network
+// is what a supervision UI shows when an analyst opens a company.
+func (g *Graph) Neighborhood(center NodeID, hops int) (*Graph, map[NodeID]NodeID) {
+	if g.Node(center) == nil {
+		return New(), map[NodeID]NodeID{}
+	}
+	inSet := map[NodeID]bool{center: true}
+	frontier := []NodeID{center}
+	for h := 0; h < hops; h++ {
+		var next []NodeID
+		for _, n := range frontier {
+			for _, eid := range g.out[n] {
+				if e := g.edges[eid]; e != nil && !inSet[e.To] {
+					inSet[e.To] = true
+					next = append(next, e.To)
+				}
+			}
+			for _, eid := range g.in[n] {
+				if e := g.edges[eid]; e != nil && !inSet[e.From] {
+					inSet[e.From] = true
+					next = append(next, e.From)
+				}
+			}
+		}
+		frontier = next
+	}
+	sub := New()
+	mapping := make(map[NodeID]NodeID, len(inSet))
+	for _, id := range g.Nodes() {
+		if !inSet[id] {
+			continue
+		}
+		n := g.Node(id)
+		props := make(Properties, len(n.Props))
+		for k, v := range n.Props {
+			props[k] = v
+		}
+		mapping[id] = sub.AddNode(n.Label, props)
+	}
+	for _, eid := range g.Edges() {
+		e := g.edges[eid]
+		if !inSet[e.From] || !inSet[e.To] {
+			continue
+		}
+		props := make(Properties, len(e.Props))
+		for k, v := range e.Props {
+			props[k] = v
+		}
+		sub.MustAddEdge(e.Label, mapping[e.From], mapping[e.To], props)
+	}
+	return sub, mapping
+}
+
+// Clone returns a deep copy of the graph (nodes, edges and property maps are
+// copied; property values are shared, which is safe because values are
+// immutable scalars).
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.nextNode = g.nextNode
+	c.nextEdge = g.nextEdge
+	for id, n := range g.nodes {
+		props := make(Properties, len(n.Props))
+		for k, v := range n.Props {
+			props[k] = v
+		}
+		c.nodes[id] = &Node{ID: id, Label: n.Label, Props: props}
+		c.byNodeLabel[n.Label] = append(c.byNodeLabel[n.Label], id)
+	}
+	for id, e := range g.edges {
+		props := make(Properties, len(e.Props))
+		for k, v := range e.Props {
+			props[k] = v
+		}
+		c.edges[id] = &Edge{ID: id, Label: e.Label, From: e.From, To: e.To, Props: props}
+		c.out[e.From] = append(c.out[e.From], id)
+		c.in[e.To] = append(c.in[e.To], id)
+		c.byEdgeLabel[e.Label] = append(c.byEdgeLabel[e.Label], id)
+	}
+	return c
+}
+
+// Validate checks company-graph invariants of Definition 2.2: shareholding
+// edges carry a weight in (0, 1], shareholding sources are companies or
+// persons, and shareholding targets are companies. It returns the first
+// violation found, or nil.
+func (g *Graph) Validate() error {
+	for _, eid := range g.Edges() {
+		e := g.edges[eid]
+		if e.Label != LabelShareholding {
+			continue
+		}
+		w, ok := e.Weight()
+		if !ok {
+			return fmt.Errorf("pg: edge %d: shareholding edge missing weight", eid)
+		}
+		if w <= 0 || w > 1 {
+			return fmt.Errorf("pg: edge %d: share amount %v outside (0,1]", eid, w)
+		}
+		from, to := g.nodes[e.From], g.nodes[e.To]
+		if to.Label != LabelCompany {
+			return fmt.Errorf("pg: edge %d: shareholding target %d is %s, want Company", eid, e.To, to.Label)
+		}
+		if from.Label != LabelCompany && from.Label != LabelPerson {
+			return fmt.Errorf("pg: edge %d: shareholding source %d is %s, want Company or Person", eid, e.From, from.Label)
+		}
+	}
+	return nil
+}

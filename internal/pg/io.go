@@ -1,0 +1,160 @@
+package pg
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// jsonGraph is the serialized form of a Graph.
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	ID    NodeID         `json:"id"`
+	Label Label          `json:"label"`
+	Props map[string]any `json:"props,omitempty"`
+}
+
+type jsonEdge struct {
+	ID    EdgeID         `json:"id"`
+	Label Label          `json:"label"`
+	From  NodeID         `json:"from"`
+	To    NodeID         `json:"to"`
+	Props map[string]any `json:"props,omitempty"`
+}
+
+// WriteJSON serializes the graph as a single JSON document.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	doc := jsonGraph{}
+	for _, id := range g.Nodes() {
+		n := g.nodes[id]
+		doc.Nodes = append(doc.Nodes, jsonNode{ID: n.ID, Label: n.Label, Props: n.Props})
+	}
+	for _, id := range g.Edges() {
+		e := g.edges[id]
+		doc.Edges = append(doc.Edges, jsonEdge{ID: e.ID, Label: e.Label, From: e.From, To: e.To, Props: e.Props})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a graph previously written with WriteJSON. Node and edge
+// IDs are preserved. Numeric property values decode as float64 (JSON
+// semantics).
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var doc jsonGraph
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("pg: read json: %w", err)
+	}
+	g := New()
+	for _, n := range doc.Nodes {
+		props := Properties{}
+		for k, v := range n.Props {
+			props[k] = v
+		}
+		g.nodes[n.ID] = &Node{ID: n.ID, Label: n.Label, Props: props}
+		g.byNodeLabel[n.Label] = append(g.byNodeLabel[n.Label], n.ID)
+		if n.ID >= g.nextNode {
+			g.nextNode = n.ID + 1
+		}
+	}
+	for _, e := range doc.Edges {
+		if _, ok := g.nodes[e.From]; !ok {
+			return nil, fmt.Errorf("pg: read json: edge %d references missing node %d", e.ID, e.From)
+		}
+		if _, ok := g.nodes[e.To]; !ok {
+			return nil, fmt.Errorf("pg: read json: edge %d references missing node %d", e.ID, e.To)
+		}
+		props := Properties{}
+		for k, v := range e.Props {
+			props[k] = v
+		}
+		g.edges[e.ID] = &Edge{ID: e.ID, Label: e.Label, From: e.From, To: e.To, Props: props}
+		g.out[e.From] = append(g.out[e.From], e.ID)
+		g.in[e.To] = append(g.in[e.To], e.ID)
+		g.byEdgeLabel[e.Label] = append(g.byEdgeLabel[e.Label], e.ID)
+		if e.ID >= g.nextEdge {
+			g.nextEdge = e.ID + 1
+		}
+	}
+	return g, nil
+}
+
+// WriteEdgeCSV writes shareholding edges as "from,to,w" rows, the exchange
+// format used by the ETL examples. Only Shareholding edges are exported.
+func (g *Graph) WriteEdgeCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"from", "to", "w"}); err != nil {
+		return err
+	}
+	for _, eid := range g.Edges() {
+		e := g.edges[eid]
+		if e.Label != LabelShareholding {
+			continue
+		}
+		wt, _ := e.Weight()
+		rec := []string{
+			strconv.FormatInt(int64(e.From), 10),
+			strconv.FormatInt(int64(e.To), 10),
+			strconv.FormatFloat(wt, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadEdgeCSV loads shareholding edges from "from,to,w" rows into a fresh
+// graph, creating Company nodes for every mentioned ID.
+func ReadEdgeCSV(r io.Reader) (*Graph, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("pg: read csv: %w", err)
+	}
+	g := New()
+	seen := map[NodeID]bool{}
+	ensure := func(id NodeID) {
+		if !seen[id] {
+			seen[id] = true
+			g.nodes[id] = &Node{ID: id, Label: LabelCompany, Props: Properties{}}
+			g.byNodeLabel[LabelCompany] = append(g.byNodeLabel[LabelCompany], id)
+			if id >= g.nextNode {
+				g.nextNode = id + 1
+			}
+		}
+	}
+	for i, rec := range recs {
+		if i == 0 && len(rec) >= 1 && rec[0] == "from" {
+			continue // header
+		}
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("pg: read csv: row %d: want 3 fields, got %d", i, len(rec))
+		}
+		from, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pg: read csv: row %d: bad from: %w", i, err)
+		}
+		to, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("pg: read csv: row %d: bad to: %w", i, err)
+		}
+		wt, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("pg: read csv: row %d: bad weight: %w", i, err)
+		}
+		ensure(NodeID(from))
+		ensure(NodeID(to))
+		if _, err := g.AddShare(NodeID(from), NodeID(to), wt); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,313 @@
+// Package reasonapi exposes the reasoning services of Vada-Link over HTTP —
+// the "reasoning API" through which enterprise applications interact with
+// the knowledge graph in the Section 5 architecture.
+//
+// Endpoints (all JSON):
+//
+//	GET  /v1/stats                      — graph profile (§2 statistics)
+//	GET  /v1/control?node=ID            — companies controlled by a node
+//	GET  /v1/control/pairs              — all control pairs
+//	GET  /v1/closelinks?t=0.2           — close-link pairs
+//	GET  /v1/accumulated?from=ID&to=ID  — accumulated ownership Φ(from, to)
+//	POST /v1/augment                    — run KG augmentation (family links)
+//	GET  /v1/graph                      — the property graph as JSON
+//	GET  /v1/explain?from=ID&to=ID      — derivation tree of a control decision
+//
+// The server holds one graph, injected at construction; mutation happens
+// only through /v1/augment, which is serialized by an internal lock.
+package reasonapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"vadalink/internal/closelink"
+	"vadalink/internal/cluster"
+	"vadalink/internal/control"
+	"vadalink/internal/core"
+	"vadalink/internal/embed"
+	"vadalink/internal/graphstats"
+	"vadalink/internal/pg"
+	"vadalink/internal/vadalog"
+)
+
+// Server serves the reasoning API over a company graph.
+type Server struct {
+	mu sync.RWMutex
+	g  *pg.Graph
+}
+
+// NewServer wraps a graph.
+func NewServer(g *pg.Graph) *Server {
+	return &Server{g: g}
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/control", s.handleControl)
+	mux.HandleFunc("GET /v1/control/pairs", s.handleControlPairs)
+	mux.HandleFunc("GET /v1/closelinks", s.handleCloseLinks)
+	mux.HandleFunc("GET /v1/accumulated", s.handleAccumulated)
+	mux.HandleFunc("POST /v1/augment", s.handleAugment)
+	mux.HandleFunc("GET /v1/graph", s.handleGraph)
+	mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/ubo", s.handleUBO)
+	mux.HandleFunc("GET /v1/neighborhood", s.handleNeighborhood)
+	return mux
+}
+
+// handleUBO lists the ultimate beneficial owners of a company:
+// GET /v1/ubo?node=ID.
+func (s *Server) handleUBO(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	node, err := s.parseNode(r, "node")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	type item struct {
+		ID   pg.NodeID `json:"id"`
+		Name any       `json:"name,omitempty"`
+	}
+	ubos := control.UltimateControllers(s.g, node)
+	out := make([]item, 0, len(ubos))
+	for _, id := range ubos {
+		out = append(out, item{ID: id, Name: s.g.Node(id).Props["name"]})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": node, "ultimateControllers": out})
+}
+
+// handleNeighborhood returns the ego network of a node as graph JSON:
+// GET /v1/neighborhood?node=ID&hops=2.
+func (s *Server) handleNeighborhood(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	node, err := s.parseNode(r, "node")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hops := 2
+	if raw := r.URL.Query().Get("hops"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 || v > 10 {
+			writeErr(w, http.StatusBadRequest, "bad hops %q (want 0–10)", raw)
+			return
+		}
+		hops = v
+	}
+	sub, _ := s.g.Neighborhood(node, hops)
+	w.Header().Set("Content-Type", "application/json")
+	_ = sub.WriteJSON(w)
+}
+
+// handleExplain returns the derivation tree of a control decision — the §5
+// explainability property over HTTP: GET /v1/explain?from=ID&to=ID.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	from, err := s.parseNode(r, "from")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	to, err := s.parseNode(r, "to")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	reasoner := vadalog.NewReasoner(s.g, vadalog.TaskControl)
+	reasoner.Options.Provenance = true
+	if err := reasoner.Run(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "reasoning failed: %v", err)
+		return
+	}
+	tree := reasoner.ExplainControl(from, to)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"from":     from,
+		"to":       to,
+		"controls": tree != nil,
+		"why":      tree,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, graphstats.Compute(s.g))
+}
+
+func (s *Server) parseNode(r *http.Request, param string) (pg.NodeID, error) {
+	raw := r.URL.Query().Get(param)
+	if raw == "" {
+		return 0, fmt.Errorf("missing %q parameter", param)
+	}
+	id, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %q parameter: %v", param, err)
+	}
+	if s.g.Node(pg.NodeID(id)) == nil {
+		return 0, fmt.Errorf("unknown node %d", id)
+	}
+	return pg.NodeID(id), nil
+}
+
+func (s *Server) handleControl(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	node, err := s.parseNode(r, "node")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	controlled := control.Controls(s.g, node)
+	type item struct {
+		ID   pg.NodeID `json:"id"`
+		Name any       `json:"name,omitempty"`
+	}
+	out := make([]item, 0, len(controlled))
+	for _, id := range controlled {
+		out = append(out, item{ID: id, Name: s.g.Node(id).Props["name"]})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": node, "controls": out})
+}
+
+func (s *Server) handleControlPairs(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, control.AllPairs(s.g))
+}
+
+func (s *Server) handleCloseLinks(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := closelink.DefaultThreshold
+	if raw := r.URL.Query().Get("t"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v <= 0 || v > 1 {
+			writeErr(w, http.StatusBadRequest, "bad threshold %q", raw)
+			return
+		}
+		t = v
+	}
+	links := closelink.CloseLinks(s.g, t, closelink.Options{})
+	type item struct {
+		A      pg.NodeID `json:"a"`
+		B      pg.NodeID `json:"b"`
+		Reason string    `json:"reason"`
+		Via    pg.NodeID `json:"via"`
+	}
+	out := make([]item, 0, len(links))
+	for _, l := range links {
+		reason := "direct"
+		if l.Reason == closelink.ReasonCommonOwner {
+			reason = "common-owner"
+		}
+		out = append(out, item{A: l.Pair.A, B: l.Pair.B, Reason: reason, Via: l.Via})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"threshold": t, "links": out})
+}
+
+func (s *Server) handleAccumulated(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	from, err := s.parseNode(r, "from")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	to, err := s.parseNode(r, "to")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	phi := closelink.Accumulated(s.g, from, to, closelink.Options{})
+	writeJSON(w, http.StatusOK, map[string]any{"from": from, "to": to, "phi": phi})
+}
+
+// augmentRequest configures a POST /v1/augment run.
+type augmentRequest struct {
+	// Classes: any of "family", "control", "closelink". Empty means family.
+	Classes []string `json:"classes"`
+	// Clusters is the first-level k; 0 disables embedding clustering.
+	Clusters int `json:"clusters"`
+	// NoCluster forces the exhaustive single-block mode.
+	NoCluster bool `json:"noCluster"`
+}
+
+func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
+	var req augmentRequest
+	if r.Body != nil {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err.Error() != "EOF" {
+			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	if len(req.Classes) == 0 {
+		req.Classes = []string{"family"}
+	}
+	var cands []core.Candidate
+	for _, c := range req.Classes {
+		switch c {
+		case "family":
+			cands = append(cands, &core.FamilyCandidate{})
+		case "control":
+			cands = append(cands, core.ControlCandidate{})
+		case "closelink":
+			cands = append(cands, core.CloseLinkCandidate{})
+		default:
+			writeErr(w, http.StatusBadRequest, "unknown link class %q", c)
+			return
+		}
+	}
+	cfg := core.Config{
+		Candidates:  cands,
+		NoCluster:   req.NoCluster,
+		FirstLevelK: req.Clusters,
+		Embed:       embed.Config{Seed: 1},
+	}
+	if !req.NoCluster {
+		cfg.Blocker = cluster.PersonBlocker{}
+	}
+	aug, err := core.New(cfg)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	res, err := aug.Run(s.g)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "augmentation failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"added":       res.Added,
+		"rounds":      res.Rounds,
+		"comparisons": res.Comparisons,
+		"blocks":      res.Blocks,
+	})
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.g.WriteJSON(w)
+}

@@ -1,0 +1,181 @@
+// Package relstore implements the relational representation of property
+// graphs described in Section 3 of the Vada-Link paper, and the input/output
+// mappings of Algorithms 2 and 4 that "promote" a concrete company graph to
+// the generic node/link model the prediction logic reasons over, and map
+// predicted generic links back into property-graph edges.
+//
+// The mapping follows the paper exactly:
+//
+//   - an L-labelled node n with properties f1..fm becomes a fact
+//     L(id, σ(n,f1), ..., σ(n,fm)) — properties in a total order;
+//   - an L-labelled edge e with ρ(e) = (u, v) becomes a fact
+//     L(id, uId, vId, σ(e,f1), ..., σ(e,fk));
+//   - node and edge labels operate at schema level (predicate names),
+//     properties at instance level (term values).
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vadalink/internal/datalog"
+	"vadalink/internal/pg"
+)
+
+// Predicate names of the relational representation (lower-cased labels) and
+// of the generic promoted model.
+const (
+	PredCompany = "company"
+	PredPerson  = "person"
+	PredOwn     = "own"
+
+	PredNode     = "node"
+	PredNodeType = "nodetype"
+	PredLink     = "link"
+	PredEdgeType = "edgetype"
+)
+
+// NodeProps is the total order of person/company property names exported to
+// the relational representation. Missing properties export as "".
+var NodeProps = []string{"name", "birth", "addr", "sector"}
+
+// CompanyGraphFacts maps a company graph to its relational representation:
+// company(id, props...), person(id, props...), own(from, to, w) — the
+// extensional component of the knowledge graph (Example 3.1).
+func CompanyGraphFacts(g *pg.Graph) []datalog.Fact {
+	var facts []datalog.Fact
+	for _, id := range g.Nodes() {
+		n := g.Node(id)
+		args := make([]any, 0, 1+len(NodeProps))
+		args = append(args, int64(id))
+		for _, p := range NodeProps {
+			args = append(args, propString(n.Props, p))
+		}
+		switch n.Label {
+		case pg.LabelCompany:
+			facts = append(facts, datalog.Fact{Pred: PredCompany, Args: args})
+		case pg.LabelPerson:
+			facts = append(facts, datalog.Fact{Pred: PredPerson, Args: args})
+		}
+	}
+	for _, eid := range g.EdgesWithLabel(pg.LabelShareholding) {
+		e := g.Edge(eid)
+		w, _ := e.Weight()
+		facts = append(facts, datalog.Fact{
+			Pred: PredOwn,
+			Args: []any{int64(e.From), int64(e.To), w},
+		})
+	}
+	return facts
+}
+
+// GenericFacts promotes a property graph to the generic model of Algorithm 2:
+// node(id, props...), nodetype(id, type), link(id, from, to, w),
+// edgetype(id, type). Every label is promoted, so predicted edges round-trip
+// too.
+func GenericFacts(g *pg.Graph) []datalog.Fact {
+	var facts []datalog.Fact
+	for _, id := range g.Nodes() {
+		n := g.Node(id)
+		args := make([]any, 0, 1+len(NodeProps))
+		args = append(args, int64(id))
+		for _, p := range NodeProps {
+			args = append(args, propString(n.Props, p))
+		}
+		facts = append(facts,
+			datalog.Fact{Pred: PredNode, Args: args},
+			datalog.Fact{Pred: PredNodeType, Args: []any{int64(id), string(n.Label)}},
+		)
+	}
+	for _, eid := range g.Edges() {
+		e := g.Edge(eid)
+		w, ok := e.Weight()
+		if !ok {
+			w = 0
+		}
+		facts = append(facts,
+			datalog.Fact{Pred: PredLink, Args: []any{int64(eid), int64(e.From), int64(e.To), w}},
+			datalog.Fact{Pred: PredEdgeType, Args: []any{int64(eid), string(e.Label)}},
+		)
+	}
+	return facts
+}
+
+// LinkClassPredicates maps output-mapping predicate names (Algorithm 4) to
+// property-graph edge labels.
+var LinkClassPredicates = map[string]pg.Label{
+	"control":   pg.LabelControl,
+	"closelink": pg.LabelCloseLink,
+	"partnerof": pg.LabelPartnerOf,
+	"siblingof": pg.LabelSiblingOf,
+	"parentof":  pg.LabelParentOf,
+}
+
+// ApplyPredictedLinks reads the output-mapping predicates (control/2,
+// closelink/2, partnerof/2, ...) from an evaluated engine and materializes
+// them as typed edges in the graph, skipping edges that already exist. It
+// returns the number of edges added.
+func ApplyPredictedLinks(g *pg.Graph, e *datalog.Engine) (int, error) {
+	added := 0
+	preds := make([]string, 0, len(LinkClassPredicates))
+	for p := range LinkClassPredicates {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	for _, pred := range preds {
+		label := LinkClassPredicates[pred]
+		for _, f := range e.Facts(pred) {
+			if len(f.Args) < 2 {
+				return added, fmt.Errorf("relstore: %s fact has %d args, want ≥ 2", pred, len(f.Args))
+			}
+			from, ok1 := toNodeID(f.Args[0])
+			to, ok2 := toNodeID(f.Args[1])
+			if !ok1 || !ok2 {
+				return added, fmt.Errorf("relstore: %s fact has non-integer node ids: %v", pred, f)
+			}
+			if g.Node(from) == nil || g.Node(to) == nil {
+				return added, fmt.Errorf("relstore: %s fact references unknown node: %v", pred, f)
+			}
+			if g.HasEdge(label, from, to) {
+				continue
+			}
+			g.MustAddEdge(label, from, to, nil)
+			added++
+		}
+	}
+	return added, nil
+}
+
+func toNodeID(v any) (pg.NodeID, bool) {
+	switch x := v.(type) {
+	case int64:
+		return pg.NodeID(x), true
+	case float64:
+		return pg.NodeID(int64(x)), float64(int64(x)) == x
+	}
+	return 0, false
+}
+
+func propString(props pg.Properties, name string) string {
+	v, ok := props[name]
+	if !ok {
+		return ""
+	}
+	switch x := v.(type) {
+	case string:
+		return x
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// Summary renders per-predicate fact counts of an engine, a debugging and
+// reporting aid used by the CLI.
+func Summary(e *datalog.Engine, preds ...string) string {
+	var sb strings.Builder
+	for _, p := range preds {
+		fmt.Fprintf(&sb, "%s: %d\n", p, e.NumFacts(p))
+	}
+	return sb.String()
+}

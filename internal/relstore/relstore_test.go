@@ -1,0 +1,133 @@
+package relstore
+
+import (
+	"testing"
+
+	"vadalink/internal/datalog"
+	"vadalink/internal/pg"
+)
+
+func TestCompanyGraphFacts(t *testing.T) {
+	g, b := pg.Figure2()
+	facts := CompanyGraphFacts(g)
+	var companies, persons, owns int
+	for _, f := range facts {
+		switch f.Pred {
+		case PredCompany:
+			companies++
+		case PredPerson:
+			persons++
+		case PredOwn:
+			owns++
+		}
+	}
+	if companies != 4 || persons != 3 || owns != 8 {
+		t.Errorf("facts: %d companies, %d persons, %d owns; want 4/3/8", companies, persons, owns)
+	}
+	// Spot-check one own fact: P1 → C4 with 0.8.
+	found := false
+	for _, f := range facts {
+		if f.Pred == PredOwn && f.Args[0] == int64(b.ID("P1")) && f.Args[1] == int64(b.ID("C4")) {
+			if f.Args[2].(float64) != 0.8 {
+				t.Errorf("own(P1,C4) weight = %v, want 0.8", f.Args[2])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing own(P1, C4, 0.8) fact")
+	}
+}
+
+func TestGenericFactsPromoteEverything(t *testing.T) {
+	g, _ := pg.Figure1()
+	facts := GenericFacts(g)
+	nodes, types, links, etypes := 0, 0, 0, 0
+	for _, f := range facts {
+		switch f.Pred {
+		case PredNode:
+			nodes++
+		case PredNodeType:
+			types++
+		case PredLink:
+			links++
+		case PredEdgeType:
+			etypes++
+		}
+	}
+	if nodes != g.NumNodes() || types != g.NumNodes() {
+		t.Errorf("node facts = %d/%d, want %d", nodes, types, g.NumNodes())
+	}
+	if links != g.NumEdges() || etypes != g.NumEdges() {
+		t.Errorf("link facts = %d/%d, want %d", links, etypes, g.NumEdges())
+	}
+}
+
+func TestApplyPredictedLinks(t *testing.T) {
+	g, b := pg.Figure2()
+	prog := datalog.MustParse(`in(X, Y) -> control(X, Y).`)
+	e, err := datalog.NewEngine(prog, datalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Assert(datalog.Fact{Pred: "in", Args: []any{int64(b.ID("P1")), int64(b.ID("C4"))}})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	added, err := ApplyPredictedLinks(g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 {
+		t.Fatalf("added = %d, want 1", added)
+	}
+	if !g.HasEdge(pg.LabelControl, b.ID("P1"), b.ID("C4")) {
+		t.Error("control edge not materialized")
+	}
+	// Re-applying must be idempotent.
+	added, err = ApplyPredictedLinks(g, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Errorf("re-apply added = %d, want 0", added)
+	}
+}
+
+func TestApplyPredictedLinksRejectsUnknownNode(t *testing.T) {
+	g, _ := pg.Figure2()
+	prog := datalog.MustParse(`in(X, Y) -> control(X, Y).`)
+	e, _ := datalog.NewEngine(prog, datalog.Options{})
+	e.Assert(datalog.Fact{Pred: "in", Args: []any{int64(999), int64(1000)}})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyPredictedLinks(g, e); err == nil {
+		t.Error("unknown node accepted, want error")
+	}
+}
+
+func TestRoundTripThroughInputMappingRules(t *testing.T) {
+	// Run the concrete facts through Algorithm 2-style promotion rules in
+	// the engine itself and check the generic model comes out consistent.
+	g, _ := pg.Figure2()
+	src := `
+		company(Id, N, B, A, S) -> gnode(Id), gnodetype(Id, "Company").
+		person(Id, N, B, A, S) -> gnode(Id), gnodetype(Id, "Person").
+		own(X, Y, W), Z = #ske(X, Y) -> glink(Z, X, Y, W), gedgetype(Z, "Shareholding").
+	`
+	e, err := datalog.NewEngine(datalog.MustParse(src), datalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AssertAll(CompanyGraphFacts(g))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.NumFacts("gnode"); got != g.NumNodes() {
+		t.Errorf("gnode facts = %d, want %d", got, g.NumNodes())
+	}
+	if got := e.NumFacts("glink"); got != g.NumEdges() {
+		t.Errorf("glink facts = %d, want %d", got, g.NumEdges())
+	}
+}

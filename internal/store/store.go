@@ -1,0 +1,164 @@
+// Package store persists property graphs as versioned binary snapshots —
+// the durable layer of the §5 architecture (the paper uses Neo4j purely as
+// a store; this package plays that role without leaving the stdlib).
+//
+// Format: a magic header, a format version, then the gob-encoded graph
+// payload. Snapshots are written atomically (temp file + rename) so a crash
+// mid-save never corrupts the previous snapshot.
+package store
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"vadalink/internal/pg"
+)
+
+const (
+	magic   = "VADALINK-KG"
+	version = 1
+)
+
+// payload is the gob-encoded snapshot body.
+type payload struct {
+	Nodes []nodeRec
+	Edges []edgeRec
+}
+
+type nodeRec struct {
+	ID    pg.NodeID
+	Label pg.Label
+	Props map[string]any
+}
+
+type edgeRec struct {
+	ID    pg.EdgeID
+	Label pg.Label
+	From  pg.NodeID
+	To    pg.NodeID
+	Props map[string]any
+}
+
+func init() {
+	// Property values are scalars; register the concrete types gob meets
+	// inside the any-valued maps.
+	gob.Register(float64(0))
+	gob.Register(int64(0))
+	gob.Register("")
+	gob.Register(true)
+}
+
+// Write serializes the graph to w.
+func Write(w io.Writer, g *pg.Graph) error {
+	header := append([]byte(magic), byte(version))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("store: writing header: %w", err)
+	}
+	var p payload
+	for _, id := range g.Nodes() {
+		n := g.Node(id)
+		p.Nodes = append(p.Nodes, nodeRec{ID: n.ID, Label: n.Label, Props: n.Props})
+	}
+	for _, id := range g.Edges() {
+		e := g.Edge(id)
+		p.Edges = append(p.Edges, edgeRec{ID: e.ID, Label: e.Label, From: e.From, To: e.To, Props: e.Props})
+	}
+	if err := gob.NewEncoder(w).Encode(p); err != nil {
+		return fmt.Errorf("store: encoding graph: %w", err)
+	}
+	return nil
+}
+
+// Read parses a snapshot produced by Write. Edge identifiers are assigned
+// afresh in snapshot order; node identifiers are preserved.
+func Read(r io.Reader) (*pg.Graph, error) {
+	header := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("store: reading header: %w", err)
+	}
+	if string(header[:len(magic)]) != magic {
+		return nil, fmt.Errorf("store: not a vadalink snapshot (magic %q)", header[:len(magic)])
+	}
+	if got := int(header[len(magic)]); got != version {
+		return nil, fmt.Errorf("store: snapshot version %d not supported (want %d)", got, version)
+	}
+	var p payload
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("store: decoding graph: %w", err)
+	}
+	// Rebuild through the JSON-restore path semantics: preserve IDs.
+	g := pg.New()
+	if err := rebuild(g, p); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// rebuild restores nodes and edges with their original IDs via the public
+// pg surface: nodes must be added in ID order (pg assigns sequential IDs).
+func rebuild(g *pg.Graph, p payload) error {
+	expect := pg.NodeID(0)
+	for _, n := range p.Nodes {
+		if n.ID != expect {
+			// Fill gaps from removed nodes by adding placeholders is wrong;
+			// snapshots of graphs always have dense node IDs because pg
+			// never removes nodes. A sparse snapshot is corrupt.
+			return fmt.Errorf("store: non-sequential node id %d (want %d)", n.ID, expect)
+		}
+		props := pg.Properties{}
+		for k, v := range n.Props {
+			props[k] = v
+		}
+		g.AddNode(n.Label, props)
+		expect++
+	}
+	for _, e := range p.Edges {
+		props := pg.Properties{}
+		for k, v := range e.Props {
+			props[k] = v
+		}
+		if _, err := g.AddEdge(e.Label, e.From, e.To, props); err != nil {
+			return fmt.Errorf("store: restoring edge %d: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// Save writes the graph to path atomically (temp file in the same directory,
+// fsync, rename).
+func Save(path string, g *pg.Graph) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".vadalink-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := Write(tmp, g); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot from path.
+func Load(path string) (*pg.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vadalink/internal/control"
+	"vadalink/internal/graphgen"
+	"vadalink/internal/pg"
+)
+
+func TestRoundTripFigure2(t *testing.T) {
+	g, b := pg.Figure2()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %d/%d, want %d/%d",
+			got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	// Node IDs, labels and properties preserved.
+	for _, id := range g.Nodes() {
+		orig, rest := g.Node(id), got.Node(id)
+		if rest == nil || rest.Label != orig.Label {
+			t.Fatalf("node %d lost or relabelled", id)
+		}
+		if rest.Props["name"] != orig.Props["name"] {
+			t.Errorf("node %d name %v != %v", id, rest.Props["name"], orig.Props["name"])
+		}
+	}
+	// Reasoning gives identical answers on the restored graph.
+	origPairs := control.AllPairs(g)
+	restPairs := control.AllPairs(got)
+	if len(origPairs) != len(restPairs) {
+		t.Fatalf("control pairs differ after restore: %d vs %d", len(origPairs), len(restPairs))
+	}
+	for i := range origPairs {
+		if origPairs[i] != restPairs[i] {
+			t.Fatalf("pair %d differs: %v vs %v", i, origPairs[i], restPairs[i])
+		}
+	}
+	_ = b
+}
+
+func TestRoundTripLargeGenerated(t *testing.T) {
+	it := graphgen.NewItalian(graphgen.ItalianConfig{Persons: 500, Companies: 300, Seed: 7})
+	var buf bytes.Buffer
+	if err := Write(&buf, it.Graph); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != it.Graph.NumNodes() || got.NumEdges() != it.Graph.NumEdges() {
+		t.Fatalf("large round trip: %d/%d, want %d/%d",
+			got.NumNodes(), got.NumEdges(), it.Graph.NumNodes(), it.Graph.NumEdges())
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kg.snapshot")
+	g, _ := pg.Figure1()
+	if err := Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() {
+		t.Errorf("loaded %d nodes, want %d", got.NumNodes(), g.NumNodes())
+	}
+	// Overwriting is atomic: saving again leaves a readable snapshot and no
+	// temp litter.
+	if err := Save(path, got); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries after re-save, want 1", len(entries))
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("NOTMAGIC-XXX\x01garbagegarbage"),
+		append([]byte(magic), 99), // future version
+	}
+	for _, c := range cases {
+		if _, err := Read(bytes.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) accepted garbage", c)
+		}
+	}
+}
+
+func TestReadRejectsTruncatedPayload(t *testing.T) {
+	g, _ := pg.Figure2()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,237 @@
+// Package temporal adds the time dimension of the Italian company register
+// to the property-graph model: the paper's database "contains data from 2005
+// to 2018", each year being one graph, and intensional edges like Spouse
+// carry validity intervals (Example 3.2).
+//
+// A TemporalGraph is a property graph whose edges carry optional validity
+// intervals; Snapshot(year) projects the graph the register had in that
+// year, and ControlChanges diffs the control relation between two years —
+// the "who gained/lost control" question of banking supervision.
+package temporal
+
+import (
+	"fmt"
+	"sort"
+
+	"vadalink/internal/closelink"
+	"vadalink/internal/control"
+	"vadalink/internal/pg"
+)
+
+// Edge validity property names. Years are stored as float64 (the pg value
+// convention). ValidFrom is inclusive, ValidTo exclusive; a missing property
+// means unbounded on that side.
+const (
+	ValidFromProp = "valid_from"
+	ValidToProp   = "valid_to"
+)
+
+// Graph is a property graph with per-edge validity intervals.
+type Graph struct {
+	*pg.Graph
+}
+
+// New returns an empty temporal graph.
+func New() *Graph {
+	return &Graph{Graph: pg.New()}
+}
+
+// Wrap makes an existing property graph temporal (its current edges are
+// valid forever unless they carry validity properties).
+func Wrap(g *pg.Graph) *Graph {
+	return &Graph{Graph: g}
+}
+
+// AddShareDuring inserts a shareholding edge valid in [from, to).
+// to = 0 means still valid.
+func (g *Graph) AddShareDuring(owner, owned pg.NodeID, w float64, from, to int) (pg.EdgeID, error) {
+	props := pg.Properties{pg.WeightProp: w, ValidFromProp: float64(from)}
+	if to != 0 {
+		props[ValidToProp] = float64(to)
+	}
+	return g.AddEdge(pg.LabelShareholding, owner, owned, props)
+}
+
+// ValidIn reports whether an edge is valid in the given year.
+func ValidIn(e *pg.Edge, year int) bool {
+	if from, ok := yearProp(e, ValidFromProp); ok && year < from {
+		return false
+	}
+	if to, ok := yearProp(e, ValidToProp); ok && year >= to {
+		return false
+	}
+	return true
+}
+
+func yearProp(e *pg.Edge, name string) (int, bool) {
+	switch v := e.Props[name].(type) {
+	case float64:
+		return int(v), true
+	case int64:
+		return int(v), true
+	case int:
+		return v, true
+	}
+	return 0, false
+}
+
+// Snapshot projects the graph as of the given year: all nodes, plus the
+// edges valid in that year (validity properties stripped from the copy).
+func (g *Graph) Snapshot(year int) *pg.Graph {
+	out := pg.New()
+	// Preserve node identity by copying in ID order; pg assigns sequential
+	// IDs, so a full copy keeps them aligned.
+	ids := g.Nodes()
+	idMap := make(map[pg.NodeID]pg.NodeID, len(ids))
+	for _, id := range ids {
+		n := g.Node(id)
+		props := make(pg.Properties, len(n.Props))
+		for k, v := range n.Props {
+			props[k] = v
+		}
+		idMap[id] = out.AddNode(n.Label, props)
+	}
+	for _, eid := range g.Edges() {
+		e := g.Edge(eid)
+		if !ValidIn(e, year) {
+			continue
+		}
+		props := make(pg.Properties, len(e.Props))
+		for k, v := range e.Props {
+			if k == ValidFromProp || k == ValidToProp {
+				continue
+			}
+			props[k] = v
+		}
+		out.MustAddEdge(e.Label, idMap[e.From], idMap[e.To], props)
+	}
+	return out
+}
+
+// Years returns the sorted set of years mentioned by any validity property —
+// the candidate snapshot instants.
+func (g *Graph) Years() []int {
+	set := map[int]bool{}
+	for _, eid := range g.Edges() {
+		e := g.Edge(eid)
+		if y, ok := yearProp(e, ValidFromProp); ok {
+			set[y] = true
+		}
+		if y, ok := yearProp(e, ValidToProp); ok {
+			set[y] = true
+		}
+	}
+	years := make([]int, 0, len(set))
+	for y := range set {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	return years
+}
+
+// Change is one control-relation difference between two years.
+type Change struct {
+	From, To pg.NodeID
+	// Gained is true when the control pair exists in the later year only,
+	// false when it was lost.
+	Gained bool
+}
+
+// ControlChanges diffs the control relation between year1 and year2
+// (year1 < year2 conventionally, but any order works — Gained is relative
+// to year2).
+func (g *Graph) ControlChanges(year1, year2 int) []Change {
+	pairsAt := func(year int) map[[2]pg.NodeID]bool {
+		snap := g.Snapshot(year)
+		set := map[[2]pg.NodeID]bool{}
+		for _, p := range control.AllPairs(snap) {
+			set[[2]pg.NodeID{p.From, p.To}] = true
+		}
+		return set
+	}
+	before, after := pairsAt(year1), pairsAt(year2)
+	var out []Change
+	for p := range after {
+		if !before[p] {
+			out = append(out, Change{From: p[0], To: p[1], Gained: true})
+		}
+	}
+	for p := range before {
+		if !after[p] {
+			out = append(out, Change{From: p[0], To: p[1], Gained: false})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return out[i].Gained && !out[j].Gained
+	})
+	return out
+}
+
+// CloseLinkChanges diffs the close-link relation (threshold t) between two
+// years — the eligibility-status changes a collateral desk must track.
+func (g *Graph) CloseLinkChanges(year1, year2 int, t float64) []Change {
+	pairsAt := func(year int) map[[2]pg.NodeID]bool {
+		snap := g.Snapshot(year)
+		set := map[[2]pg.NodeID]bool{}
+		for _, l := range closelink.CloseLinks(snap, t, closelink.Options{}) {
+			set[[2]pg.NodeID{l.Pair.A, l.Pair.B}] = true
+		}
+		return set
+	}
+	before, after := pairsAt(year1), pairsAt(year2)
+	var out []Change
+	for p := range after {
+		if !before[p] {
+			out = append(out, Change{From: p[0], To: p[1], Gained: true})
+		}
+	}
+	for p := range before {
+		if !after[p] {
+			out = append(out, Change{From: p[0], To: p[1], Gained: false})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return out[i].Gained && !out[j].Gained
+	})
+	return out
+}
+
+// ControlTimeline reports, for a controller x and company y, the years in
+// [fromYear, toYear) during which x controlled y.
+func (g *Graph) ControlTimeline(x, y pg.NodeID, fromYear, toYear int) []int {
+	if toYear <= fromYear {
+		return nil
+	}
+	var out []int
+	for year := fromYear; year < toYear; year++ {
+		snap := g.Snapshot(year)
+		for _, c := range control.Controls(snap, x) {
+			if c == y {
+				out = append(out, year)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// String renders a change for logs.
+func (c Change) String() string {
+	verb := "lost"
+	if c.Gained {
+		verb = "gained"
+	}
+	return fmt.Sprintf("%d %s control of %d", c.From, verb, c.To)
+}

@@ -1,0 +1,139 @@
+package temporal
+
+import (
+	"testing"
+
+	"vadalink/internal/pg"
+)
+
+// buildHistory: P owns 60% of A during [2005, 2010); sells down to 30% from
+// 2010; Q buys 40% in 2010 (plus held 15% all along).
+func buildHistory(t *testing.T) (*Graph, pg.NodeID, pg.NodeID, pg.NodeID) {
+	t.Helper()
+	g := New()
+	p := g.AddNode(pg.LabelPerson, pg.Properties{"name": "P"})
+	q := g.AddNode(pg.LabelPerson, pg.Properties{"name": "Q"})
+	a := g.AddNode(pg.LabelCompany, pg.Properties{"name": "A"})
+	mustShare := func(from, to pg.NodeID, w float64, y1, y2 int) {
+		if _, err := g.AddShareDuring(from, to, w, y1, y2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustShare(p, a, 0.6, 2005, 2010)
+	mustShare(p, a, 0.3, 2010, 0)
+	mustShare(q, a, 0.15, 2005, 0)
+	mustShare(q, a, 0.4, 2010, 0)
+	return g, p, q, a
+}
+
+func TestValidIn(t *testing.T) {
+	g := New()
+	a := g.AddNode(pg.LabelCompany, nil)
+	b := g.AddNode(pg.LabelCompany, nil)
+	eid, err := g.AddShareDuring(a, b, 0.5, 2005, 2010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := g.Edge(eid)
+	for year, want := range map[int]bool{2004: false, 2005: true, 2009: true, 2010: false, 2015: false} {
+		if got := ValidIn(e, year); got != want {
+			t.Errorf("ValidIn(%d) = %v, want %v", year, got, want)
+		}
+	}
+	// Open-ended edge.
+	eid2, _ := g.AddShareDuring(a, b, 0.1, 2012, 0)
+	if !ValidIn(g.Edge(eid2), 2050) {
+		t.Error("open-ended edge invalid in future year")
+	}
+	// Untimed edge (wrapped plain graph) is always valid.
+	eid3 := g.MustAddEdgeWeighted(a, b, 0.05)
+	if !ValidIn(g.Edge(eid3), 1990) {
+		t.Error("untimed edge should be valid always")
+	}
+}
+
+func TestSnapshotProjectsValidity(t *testing.T) {
+	g, p, _, a := buildHistory(t)
+	s2007 := g.Snapshot(2007)
+	if s2007.NumEdges() != 2 { // P 0.6 and Q 0.15
+		t.Errorf("2007 edges = %d, want 2", s2007.NumEdges())
+	}
+	s2012 := g.Snapshot(2012)
+	if s2012.NumEdges() != 3 { // P 0.3, Q 0.15, Q 0.4
+		t.Errorf("2012 edges = %d, want 3", s2012.NumEdges())
+	}
+	// Node identity preserved.
+	if s2007.Node(p) == nil || s2007.Node(a) == nil {
+		t.Error("snapshot lost nodes")
+	}
+	// Validity props stripped.
+	for _, eid := range s2007.Edges() {
+		if _, ok := s2007.Edge(eid).Props[ValidFromProp]; ok {
+			t.Error("snapshot kept validity property")
+		}
+	}
+}
+
+func TestControlChanges(t *testing.T) {
+	g, p, q, a := buildHistory(t)
+	changes := g.ControlChanges(2007, 2012)
+	want := map[Change]bool{
+		{From: p, To: a, Gained: false}: true, // P lost control (0.6 → 0.3)
+		{From: q, To: a, Gained: true}:  true, // Q gained it (0.15 → 0.55)
+	}
+	if len(changes) != len(want) {
+		t.Fatalf("changes = %v", changes)
+	}
+	for _, c := range changes {
+		if !want[c] {
+			t.Errorf("unexpected change %v", c)
+		}
+	}
+}
+
+func TestControlTimeline(t *testing.T) {
+	g, p, q, a := buildHistory(t)
+	pYears := g.ControlTimeline(p, a, 2005, 2014)
+	if len(pYears) != 5 || pYears[0] != 2005 || pYears[4] != 2009 {
+		t.Errorf("P control years = %v, want 2005–2009", pYears)
+	}
+	qYears := g.ControlTimeline(q, a, 2005, 2014)
+	if len(qYears) != 4 || qYears[0] != 2010 {
+		t.Errorf("Q control years = %v, want 2010–2013", qYears)
+	}
+}
+
+func TestYears(t *testing.T) {
+	g, _, _, _ := buildHistory(t)
+	years := g.Years()
+	if len(years) != 2 || years[0] != 2005 || years[1] != 2010 {
+		t.Errorf("Years = %v, want [2005 2010]", years)
+	}
+}
+
+func TestWrapPlainGraph(t *testing.T) {
+	plain, b := pg.Figure2()
+	g := Wrap(plain)
+	snap := g.Snapshot(2016)
+	if snap.NumEdges() != plain.NumEdges() {
+		t.Errorf("snapshot of untimed graph lost edges: %d vs %d", snap.NumEdges(), plain.NumEdges())
+	}
+	_ = b
+}
+
+func TestCloseLinkChanges(t *testing.T) {
+	g := New()
+	a := g.AddNode(pg.LabelCompany, nil)
+	b := g.AddNode(pg.LabelCompany, nil)
+	// A owns 30% of B until 2012, then sells down to 5%.
+	if _, err := g.AddShareDuring(a, b, 0.30, 2005, 2012); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddShareDuring(a, b, 0.05, 2012, 0); err != nil {
+		t.Fatal(err)
+	}
+	changes := g.CloseLinkChanges(2010, 2014, 0.2)
+	if len(changes) != 1 || changes[0].Gained {
+		t.Fatalf("changes = %v, want one lost close link", changes)
+	}
+}

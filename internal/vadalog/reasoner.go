@@ -1,0 +1,249 @@
+package vadalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vadalink/internal/datalog"
+	"vadalink/internal/family"
+	"vadalink/internal/pg"
+	"vadalink/internal/relstore"
+)
+
+// Task selects which reasoning programs a Reasoner evaluates.
+type Task int
+
+// Reasoning tasks.
+const (
+	TaskControl Task = 1 << iota
+	TaskCloseLink
+	TaskPartner
+	TaskFamilyControl
+	TaskFamilyCloseLink
+)
+
+// Reasoner evaluates the paper's rule programs over a company property
+// graph: the §5 architecture's "reasoning API" core. Construct with
+// NewReasoner, then Run once; result accessors read the derived predicates.
+type Reasoner struct {
+	g      *pg.Graph
+	engine *datalog.Engine
+	tasks  Task
+
+	// Classifier backs the #linkprob builtin of Algorithm 7; nil uses
+	// family.NewClassifier().
+	Classifier *family.Classifier
+	// Families maps family IDs to member nodes, the fammember relation of
+	// Algorithms 8 and 9.
+	Families map[string][]pg.NodeID
+	// Options tunes the underlying engine (epsilon for cyclic accumulated
+	// ownership, round bounds).
+	Options datalog.Options
+}
+
+// NewReasoner prepares a reasoner for the given tasks.
+func NewReasoner(g *pg.Graph, tasks Task) *Reasoner {
+	return &Reasoner{g: g, tasks: tasks}
+}
+
+// program assembles the rule text for the selected tasks.
+func (r *Reasoner) program() string {
+	var parts []string
+	if r.tasks&TaskControl != 0 || r.tasks&TaskFamilyControl != 0 {
+		parts = append(parts, ControlProgram)
+	}
+	if r.tasks&TaskCloseLink != 0 || r.tasks&TaskFamilyCloseLink != 0 {
+		parts = append(parts, CloseLinkProgram)
+	}
+	if r.tasks&TaskPartner != 0 {
+		parts = append(parts, PartnerProgram)
+	}
+	if r.tasks&TaskFamilyControl != 0 {
+		parts = append(parts, FamilyControlProgram)
+	}
+	if r.tasks&TaskFamilyCloseLink != 0 {
+		parts = append(parts, FamilyCloseLinkProgram)
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Run loads the graph's relational representation, evaluates the selected
+// programs and leaves the derived facts available through the accessors.
+func (r *Reasoner) Run() error {
+	src := r.program()
+	if src == "" {
+		return fmt.Errorf("vadalog: no tasks selected")
+	}
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		return fmt.Errorf("vadalog: parsing shipped programs: %w", err)
+	}
+	engine, err := datalog.NewEngine(prog, r.Options)
+	if err != nil {
+		return fmt.Errorf("vadalog: preparing engine: %w", err)
+	}
+
+	clf := r.Classifier
+	if clf == nil {
+		clf = family.NewClassifier()
+	}
+	engine.RegisterBuiltin("linkprob", func(args []any) (any, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("vadalog: #linkprob wants 2 args, got %d", len(args))
+		}
+		x, ok1 := toID(args[0])
+		y, ok2 := toID(args[1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("vadalog: #linkprob: non-integer node ids %v, %v", args[0], args[1])
+		}
+		nx, ny := r.g.Node(x), r.g.Node(y)
+		if nx == nil || ny == nil {
+			return nil, fmt.Errorf("vadalog: #linkprob: unknown node %v or %v", x, y)
+		}
+		return clf.LinkProbability(family.PersonFromNode(nx), family.PersonFromNode(ny)), nil
+	})
+
+	engine.AssertAll(relstore.CompanyGraphFacts(r.g))
+	for famID, members := range r.Families {
+		for _, m := range members {
+			engine.Assert(datalog.Fact{Pred: "fammember", Args: []any{int64(m), famID}})
+		}
+	}
+	if err := engine.Run(); err != nil {
+		return fmt.Errorf("vadalog: evaluating programs: %w", err)
+	}
+	r.engine = engine
+	return nil
+}
+
+func toID(v any) (pg.NodeID, bool) {
+	switch x := v.(type) {
+	case int64:
+		return pg.NodeID(x), true
+	case float64:
+		return pg.NodeID(int64(x)), float64(int64(x)) == x
+	}
+	return 0, false
+}
+
+// Engine exposes the evaluated engine (nil before Run).
+func (r *Reasoner) Engine() *datalog.Engine { return r.engine }
+
+// pairFacts converts binary facts over node ids into pairs.
+func (r *Reasoner) pairFacts(pred string) [][2]pg.NodeID {
+	if r.engine == nil {
+		return nil
+	}
+	var out [][2]pg.NodeID
+	for _, f := range r.engine.Facts(pred) {
+		if len(f.Args) != 2 {
+			continue
+		}
+		a, ok1 := toID(f.Args[0])
+		b, ok2 := toID(f.Args[1])
+		if ok1 && ok2 {
+			out = append(out, [2]pg.NodeID{a, b})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// ControlPairs returns the derived control(x, y) relationships.
+func (r *Reasoner) ControlPairs() [][2]pg.NodeID { return r.pairFacts("control") }
+
+// CloseLinkPairs returns the derived closelink(x, y) relationships (both
+// directions present, close links being symmetric).
+func (r *Reasoner) CloseLinkPairs() [][2]pg.NodeID { return r.pairFacts("closelink") }
+
+// PartnerPairs returns the derived partnerof(x, y) relationships.
+func (r *Reasoner) PartnerPairs() [][2]pg.NodeID { return r.pairFacts("partnerof") }
+
+// FamilyControls returns family → controlled-company pairs.
+func (r *Reasoner) FamilyControls() []FamilyControl {
+	if r.engine == nil {
+		return nil
+	}
+	var out []FamilyControl
+	for _, f := range r.engine.Facts("familycontrol") {
+		if len(f.Args) != 2 {
+			continue
+		}
+		fam, ok1 := f.Args[0].(string)
+		y, ok2 := toID(f.Args[1])
+		if ok1 && ok2 {
+			out = append(out, FamilyControl{Family: fam, Company: y})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Family != out[j].Family {
+			return out[i].Family < out[j].Family
+		}
+		return out[i].Company < out[j].Company
+	})
+	return out
+}
+
+// FamilyControl is one family-control finding.
+type FamilyControl struct {
+	Family  string
+	Company pg.NodeID
+}
+
+// AccumulatedOwnership reads the final (maximal) accumulated-ownership value
+// per (x, y) pair from the close-link program's accown predicate.
+func (r *Reasoner) AccumulatedOwnership() map[[2]pg.NodeID]float64 {
+	if r.engine == nil {
+		return nil
+	}
+	out := map[[2]pg.NodeID]float64{}
+	for _, f := range r.engine.MaxByGroup("accown", 2, 0, 1) {
+		a, ok1 := toID(f.Args[0])
+		b, ok2 := toID(f.Args[1])
+		v, ok3 := f.Args[2].(float64)
+		if ok1 && ok2 && ok3 {
+			out[[2]pg.NodeID{a, b}] = v
+		}
+	}
+	return out
+}
+
+// ExplainControl renders the derivation tree of a control(x, y) decision —
+// why the reasoner concluded that x controls y, down to the ownership facts.
+// It requires the engine to run with Options.Provenance set; otherwise (or
+// for an unknown pair) it returns nil.
+func (r *Reasoner) ExplainControl(x, y pg.NodeID) []string {
+	return r.explainPair("control", x, y)
+}
+
+// ExplainCloseLink renders the derivation tree of a closelink(x, y)
+// decision. Requires Options.Provenance.
+func (r *Reasoner) ExplainCloseLink(x, y pg.NodeID) []string {
+	return r.explainPair("closelink", x, y)
+}
+
+func (r *Reasoner) explainPair(pred string, x, y pg.NodeID) []string {
+	if r.engine == nil {
+		return nil
+	}
+	f := datalog.Fact{Pred: pred, Args: []any{int64(x), int64(y)}}
+	if !r.engine.Has(f) {
+		return nil
+	}
+	return r.engine.ExplainTree(f, 0)
+}
+
+// Apply materializes the derived link predicates as property-graph edges via
+// the Algorithm 4 output mapping. It returns the number of edges added.
+func (r *Reasoner) Apply() (int, error) {
+	if r.engine == nil {
+		return 0, fmt.Errorf("vadalog: Apply before Run")
+	}
+	return relstore.ApplyPredictedLinks(r.g, r.engine)
+}

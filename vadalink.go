@@ -1,0 +1,322 @@
+// Package vadalink is a from-scratch Go implementation of Vada-Link, the
+// knowledge-graph augmentation framework for company ownership graphs of
+//
+//	Atzeni, Bellomarini, Iezzi, Sallinger, Vlad:
+//	"Weaving Enterprise Knowledge Graphs: The Case of Company Ownership
+//	Graphs", EDBT 2020.
+//
+// The package is a stable facade over the implementation packages:
+//
+//   - property graphs and the company-graph model (Definitions 2.1/2.2);
+//   - the three reasoning problems — company control (Definition 2.3),
+//     close links / asset eligibility (Definitions 2.5/2.6), and detection
+//     of personal connections (Section 2) — each available both as a direct
+//     Go solver and as a declarative Vadalog program evaluated by the
+//     embedded Datalog± engine;
+//   - the KG-augmentation loop of Algorithm 1 (two-level clustering:
+//     node2vec embeddings + feature blocking, with polymorphic candidate
+//     predicates);
+//   - synthetic data generators and graph statistics reproducing the
+//     paper's §2 profile and §6 experiments;
+//   - an HTTP reasoning API (the §5 architecture).
+//
+// # Quickstart
+//
+//	g, b := vadalink.Figure1()
+//	controlled := vadalink.Controls(g, b.ID("P1"))   // C, D, E, F
+//	links := vadalink.CloseLinks(g, 0.2)             // incl. (G, I) via P2
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package vadalink
+
+import (
+	"io"
+	"net/http"
+
+	"vadalink/internal/closelink"
+	"vadalink/internal/cluster"
+	"vadalink/internal/control"
+	"vadalink/internal/core"
+	"vadalink/internal/datalog"
+	"vadalink/internal/embed"
+	"vadalink/internal/etl"
+	"vadalink/internal/family"
+	"vadalink/internal/graphgen"
+	"vadalink/internal/graphstats"
+	"vadalink/internal/pg"
+	"vadalink/internal/reasonapi"
+	"vadalink/internal/store"
+	"vadalink/internal/temporal"
+	"vadalink/internal/vadalog"
+)
+
+// Graph model re-exports.
+type (
+	// Graph is a property graph (Definition 2.1).
+	Graph = pg.Graph
+	// Node is a labelled node with properties.
+	Node = pg.Node
+	// Edge is a labelled directed edge with properties.
+	Edge = pg.Edge
+	// NodeID identifies a node.
+	NodeID = pg.NodeID
+	// EdgeID identifies an edge.
+	EdgeID = pg.EdgeID
+	// Label is a node or edge label.
+	Label = pg.Label
+	// Properties maps property names to values.
+	Properties = pg.Properties
+	// Builder constructs company graphs by node name.
+	Builder = pg.Builder
+)
+
+// Well-known labels of the company graph (Definition 2.2).
+const (
+	LabelCompany      = pg.LabelCompany
+	LabelPerson       = pg.LabelPerson
+	LabelShareholding = pg.LabelShareholding
+	LabelControl      = pg.LabelControl
+	LabelCloseLink    = pg.LabelCloseLink
+	LabelPartnerOf    = pg.LabelPartnerOf
+	LabelSiblingOf    = pg.LabelSiblingOf
+	LabelParentOf     = pg.LabelParentOf
+)
+
+// NewGraph returns an empty property graph.
+func NewGraph() *Graph { return pg.New() }
+
+// NewBuilder returns a by-name company-graph builder.
+func NewBuilder() *Builder { return pg.NewBuilder() }
+
+// Figure1 builds the ownership graph of the paper's Figure 1.
+func Figure1() (*Graph, *Builder) { return pg.Figure1() }
+
+// Figure2 builds the Italian company graph of the paper's Figure 2.
+func Figure2() (*Graph, *Builder) { return pg.Figure2() }
+
+// --- company control (Definition 2.3) ---
+
+// Controls returns the companies controlled by x.
+func Controls(g *Graph, x NodeID) []NodeID { return control.Controls(g, x) }
+
+// GroupControls returns the companies jointly controlled by a group pooling
+// its shares (family control).
+func GroupControls(g *Graph, members []NodeID) []NodeID { return control.GroupControls(g, members) }
+
+// ControlPair is one control relationship.
+type ControlPair = control.Pair
+
+// AllControlPairs computes every control relationship in the graph.
+func AllControlPairs(g *Graph) []ControlPair { return control.AllPairs(g) }
+
+// UltimateControllers returns the persons ultimately controlling company y
+// (the anti-money-laundering UBO question).
+func UltimateControllers(g *Graph, y NodeID) []NodeID {
+	return control.UltimateControllers(g, y)
+}
+
+// Orphans returns companies with no ultimate (person) controller.
+func Orphans(g *Graph) []NodeID { return control.Orphans(g) }
+
+// --- close links (Definitions 2.5, 2.6) ---
+
+// CloseLinkResult is one close-link finding.
+type CloseLinkResult = closelink.Link
+
+// Accumulated computes the accumulated ownership Φ(x, y) over simple paths.
+func Accumulated(g *Graph, x, y NodeID) float64 {
+	return closelink.Accumulated(g, x, y, closelink.Options{})
+}
+
+// CloseLinks returns every close-link pair among companies for threshold t
+// (use 0.2 for the ECB rule).
+func CloseLinks(g *Graph, t float64) []CloseLinkResult {
+	return closelink.CloseLinks(g, t, closelink.Options{})
+}
+
+// CommonOwner is evidence for a condition-(iii) close link: a third party
+// holding ≥ t of both companies.
+type CommonOwner = closelink.CommonOwner
+
+// CommonOwners returns the third parties with accumulated ownership ≥ t in
+// both x and y — the evidence behind a close-link rejection.
+func CommonOwners(g *Graph, x, y NodeID, t float64) []CommonOwner {
+	return closelink.CommonOwners(g, x, y, t, closelink.Options{})
+}
+
+// --- personal connections ---
+
+// Person is the feature view of a person used by the link classifier.
+type Person = family.Person
+
+// LinkClass is a personal-connection class.
+type LinkClass = family.LinkClass
+
+// Family link classes.
+const (
+	PartnerOf = family.PartnerOf
+	SiblingOf = family.SiblingOf
+	ParentOf  = family.ParentOf
+)
+
+// FamilyClassifier is the multi-class Bayesian link classifier.
+type FamilyClassifier = family.Multi
+
+// NewFamilyClassifier returns the default multi-class classifier.
+func NewFamilyClassifier() *FamilyClassifier { return family.NewMulti() }
+
+// --- KG augmentation (Algorithm 1) ---
+
+// AugmentConfig configures an augmentation run.
+type AugmentConfig = core.Config
+
+// AugmentResult reports an augmentation run.
+type AugmentResult = core.Result
+
+// Candidate is the polymorphic per-class candidate predicate.
+type Candidate = core.Candidate
+
+// Candidate implementations for the paper's three problems.
+type (
+	// FamilyCandidate predicts family links (Algorithm 7).
+	FamilyCandidate = core.FamilyCandidate
+	// ControlCandidate predicts control links (Algorithm 5).
+	ControlCandidate = core.ControlCandidate
+	// CloseLinkCandidate predicts close links (Algorithm 6).
+	CloseLinkCandidate = core.CloseLinkCandidate
+)
+
+// EmbedConfig configures the node2vec step.
+type EmbedConfig = embed.Config
+
+// Blocker assigns nodes to second-level blocks.
+type Blocker = cluster.Blocker
+
+// Blockers for the shipped domains.
+type (
+	// PersonBlocker blocks persons by phonetic surname and birth decade.
+	PersonBlocker = cluster.PersonBlocker
+	// CompanyBlocker blocks companies by sector.
+	CompanyBlocker = cluster.CompanyBlocker
+	// FeatureHashBlocker hashes feature vectors into K blocks.
+	FeatureHashBlocker = cluster.FeatureHashBlocker
+)
+
+// Augment runs the KG-augmentation loop of Algorithm 1 on g, inserting the
+// predicted edges, and returns the run report.
+func Augment(g *Graph, cfg AugmentConfig) (*AugmentResult, error) {
+	a, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Run(g)
+}
+
+// DetectFamilies is the common case: augment g with family links using the
+// default classifier, two-level clustering with k first-level clusters
+// (k <= 1 disables the embedding level) and the person blocker.
+func DetectFamilies(g *Graph, k int) (*AugmentResult, error) {
+	return Augment(g, AugmentConfig{
+		FirstLevelK: k,
+		Embed:       EmbedConfig{Seed: 1},
+		Blocker:     PersonBlocker{},
+		Candidates:  []Candidate{&FamilyCandidate{}},
+	})
+}
+
+// --- declarative reasoning (Vadalog programs) ---
+
+// Reasoner evaluates the paper's rule programs (Algorithms 2–9) over a
+// company graph through the embedded Datalog± engine.
+type Reasoner = vadalog.Reasoner
+
+// Reasoning task selectors.
+const (
+	TaskControl         = vadalog.TaskControl
+	TaskCloseLink       = vadalog.TaskCloseLink
+	TaskPartner         = vadalog.TaskPartner
+	TaskFamilyControl   = vadalog.TaskFamilyControl
+	TaskFamilyCloseLink = vadalog.TaskFamilyCloseLink
+)
+
+// NewReasoner prepares a reasoner for the selected tasks.
+func NewReasoner(g *Graph, tasks vadalog.Task) *Reasoner { return vadalog.NewReasoner(g, tasks) }
+
+// ParseRules parses a Vadalog-syntax rule program (for custom reasoning).
+func ParseRules(src string) (*datalog.Program, error) { return datalog.Parse(src) }
+
+// NewEngine prepares a Datalog± engine for a custom program.
+func NewEngine(p *datalog.Program) (*datalog.Engine, error) {
+	return datalog.NewEngine(p, datalog.Options{})
+}
+
+// CheckWarded analyses a rule program for membership in the warded
+// Datalog± fragment — the syntactic condition behind the PTIME
+// data-complexity guarantee the paper relies on.
+func CheckWarded(p *datalog.Program) datalog.WardedReport { return datalog.CheckWarded(p) }
+
+// LoadCSV builds a company graph from registry-style CSV streams
+// (companies, persons, shareholdings) — the §5 ETL pipeline. Any reader may
+// be nil.
+func LoadCSV(companies, persons, shareholdings io.Reader) (*etl.Result, error) {
+	return etl.Load(companies, persons, shareholdings)
+}
+
+// RunGenericPipeline executes the fully declarative Algorithm 2→3→4
+// pipeline (input mapping, two-level clustering with builtin hooks,
+// candidate generation, output mapping) over a company graph.
+func RunGenericPipeline(g *Graph, cfg vadalog.GenericConfig) (*vadalog.GenericResult, error) {
+	return vadalog.RunGeneric(g, cfg)
+}
+
+// --- data generation and statistics ---
+
+// ItalianConfig configures the synthetic Italian company graph generator.
+type ItalianConfig = graphgen.ItalianConfig
+
+// ItalianGraph is a generated graph plus planted ground truth.
+type ItalianGraph = graphgen.Italian
+
+// NewItalian generates an Italian-company-like graph with planted family
+// ground truth (the §6 real-world-data substitute; see DESIGN.md).
+func NewItalian(cfg ItalianConfig) *ItalianGraph { return graphgen.NewItalian(cfg) }
+
+// Barabasi generates a scale-free company graph (n nodes, m edges per node).
+func Barabasi(n, m int, seed int64) *Graph { return graphgen.Barabasi(n, m, seed) }
+
+// GraphStats is the structural profile of a graph (§2 statistics).
+type GraphStats = graphstats.Stats
+
+// Stats computes the structural profile of a graph.
+func Stats(g *Graph) GraphStats { return graphstats.Compute(g) }
+
+// Concentration is the ownership-concentration profile (HHI and friends).
+type Concentration = graphstats.Concentration
+
+// OwnershipConcentration computes the concentration profile of a graph.
+func OwnershipConcentration(g *Graph) Concentration { return graphstats.ComputeConcentration(g) }
+
+// SaveSnapshot writes the graph to path as a versioned binary snapshot,
+// atomically.
+func SaveSnapshot(path string, g *Graph) error { return store.Save(path, g) }
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot.
+func LoadSnapshot(path string) (*Graph, error) { return store.Load(path) }
+
+// --- temporal dimension (the 2005–2018 register; Example 3.2 intervals) ---
+
+// TemporalGraph is a property graph whose edges carry validity intervals,
+// with yearly snapshots and control-relation diffs across years.
+type TemporalGraph = temporal.Graph
+
+// NewTemporalGraph returns an empty temporal graph.
+func NewTemporalGraph() *TemporalGraph { return temporal.New() }
+
+// WrapTemporal makes an existing graph temporal (untimed edges are valid
+// forever).
+func WrapTemporal(g *Graph) *TemporalGraph { return temporal.Wrap(g) }
+
+// --- reasoning API (§5 architecture) ---
+
+// APIHandler returns the HTTP handler of the reasoning API over g.
+func APIHandler(g *Graph) http.Handler { return reasonapi.NewServer(g).Handler() }
