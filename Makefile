@@ -1,0 +1,26 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet fuzz check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fuzz:
+	FUZZTIME=$(FUZZTIME) ./scripts/check.sh
+
+# The full gate CI runs: vet + build + race tests + short fuzz.
+check:
+	FUZZTIME=$(FUZZTIME) ./scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -9,16 +9,23 @@
 //	vadalink closelink -in graph.json [-t 0.2]
 //	vadalink family    -in graph.json [-k 1]
 //	vadalink reason    -in graph.json -task control|closelink|partner
-//	vadalink serve     -in graph.json [-addr :8080]
+//	vadalink serve     -in graph.json [-addr :8080] [-timeout 30s]
+//	                   [-max-facts N] [-max-rounds N]
+//
+// serve applies a per-request wall-clock deadline and an optional chase
+// budget; truncated answers are marked "truncated" in the JSON. SIGINT and
+// SIGTERM drain in-flight requests before the process exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"vadalink"
 	"vadalink/internal/pg"
@@ -309,8 +316,20 @@ func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	in := fs.String("in", "", "input graph JSON")
 	addr := fs.String("addr", ":8080", "listen address")
+	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = 30s default, negative = none)")
+	maxFacts := fs.Int("max-facts", 0, "chase budget: max derived facts per request (0 = unlimited)")
+	maxRounds := fs.Int("max-rounds", 0, "chase budget: max evaluation rounds per request (0 = engine default)")
 	_ = fs.Parse(args)
 	g := loadGraph(*in)
+	cfg := vadalink.APIConfig{Timeout: *timeout, MaxRounds: *maxRounds}
+	cfg.Budget.MaxFacts = *maxFacts
 	log.Printf("serving reasoning API on %s (%d nodes, %d edges)", *addr, g.NumNodes(), g.NumEdges())
-	log.Fatal(http.ListenAndServe(*addr, vadalink.APIHandler(g)))
+
+	// SIGINT/SIGTERM drain in-flight requests instead of dropping them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := vadalink.ServeAPI(ctx, *addr, vadalink.APIHandlerWith(g, cfg)); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, bye")
 }

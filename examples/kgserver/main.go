@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	kgserver [-addr :8080] [-persons 2000]
+//	kgserver [-addr :8080] [-persons 2000] [-timeout 30s] [-max-facts N]
 //
 // Then e.g.:
 //
@@ -12,12 +12,20 @@
 //	curl localhost:8080/v1/control?node=12
 //	curl localhost:8080/v1/closelinks?t=0.2
 //	curl -X POST localhost:8080/v1/augment -d '{"classes":["family"],"clusters":8}'
+//	curl -X POST localhost:8080/v1/reason -d '{"program":"own(X, Y, W) -> holds(X, Y)."}'
+//
+// Requests run under the -timeout deadline and -max-facts chase budget;
+// answers cut short by either carry "truncated": true. SIGINT/SIGTERM drain
+// in-flight requests before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
-	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"vadalink"
 )
@@ -25,10 +33,20 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	persons := flag.Int("persons", 2000, "persons in the generated graph")
+	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = 30s default, negative = none)")
+	maxFacts := flag.Int("max-facts", 0, "max derived facts per request (0 = unlimited)")
 	flag.Parse()
 
 	it := vadalink.NewItalian(vadalink.ItalianConfig{Persons: *persons, Seed: 1})
+	cfg := vadalink.APIConfig{Timeout: *timeout}
+	cfg.Budget.MaxFacts = *maxFacts
 	log.Printf("serving reasoning API for a graph with %d nodes, %d edges on %s",
 		it.Graph.NumNodes(), it.Graph.NumEdges(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, vadalink.APIHandler(it.Graph)))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := vadalink.ServeAPI(ctx, *addr, vadalink.APIHandlerWith(it.Graph, cfg)); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, bye")
 }

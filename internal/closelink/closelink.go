@@ -18,6 +18,7 @@
 package closelink
 
 import (
+	"context"
 	"sort"
 
 	"vadalink/internal/pg"
@@ -46,24 +47,53 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// checkInterval is how many DFS edge expansions pass between context polls
+// in the Ctx variants.
+const checkInterval = 1024
+
 // Accumulated computes Φ(x, y) per Definition 2.5.
 func Accumulated(g *pg.Graph, x, y pg.NodeID, opts Options) float64 {
 	return AccumulatedFrom(g, x, opts)[y]
 }
 
+// AccumulatedCtx is Accumulated under a context; it returns the context's
+// error when the enumeration is cut short (the value is then a lower bound).
+func AccumulatedCtx(ctx context.Context, g *pg.Graph, x, y pg.NodeID, opts Options) (float64, error) {
+	acc, err := AccumulatedFromCtx(ctx, g, x, opts)
+	return acc[y], err
+}
+
 // AccumulatedFrom computes Φ(x, ·) for every node reachable from x over
 // shareholding edges, in a single simple-path enumeration.
 func AccumulatedFrom(g *pg.Graph, x pg.NodeID, opts Options) map[pg.NodeID]float64 {
+	acc, _ := AccumulatedFromCtx(context.Background(), g, x, opts)
+	return acc
+}
+
+// AccumulatedFromCtx is AccumulatedFrom under a context. The simple-path
+// enumeration is worst-case exponential, so in a service it must be
+// interruptible: the DFS polls the context every checkInterval edge
+// expansions and unwinds with the context's error, returning the (partial,
+// hence lower-bound) accumulation gathered so far.
+func AccumulatedFromCtx(ctx context.Context, g *pg.Graph, x pg.NodeID, opts Options) (map[pg.NodeID]float64, error) {
 	opts = opts.withDefaults()
 	acc := make(map[pg.NodeID]float64)
 	onPath := make(map[pg.NodeID]bool)
+	steps := 0
+	var cancelErr error
 	var dfs func(n pg.NodeID, product float64, depth int)
 	dfs = func(n pg.NodeID, product float64, depth int) {
-		if depth >= opts.MaxDepth {
+		if cancelErr != nil || depth >= opts.MaxDepth {
 			return
 		}
 		onPath[n] = true
 		for _, e := range g.OutLabel(n, pg.LabelShareholding) {
+			if steps++; steps%checkInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					cancelErr = err
+					break
+				}
+			}
 			w, ok := e.Weight()
 			if !ok {
 				continue
@@ -79,11 +109,14 @@ func AccumulatedFrom(g *pg.Graph, x pg.NodeID, opts Options) map[pg.NodeID]float
 			}
 			acc[e.To] += p
 			dfs(e.To, p, depth+1)
+			if cancelErr != nil {
+				break
+			}
 		}
 		onPath[n] = false
 	}
 	dfs(x, 1, 0)
-	return acc
+	return acc, cancelErr
 }
 
 // Pair is an unordered close-link pair, stored with A < B.
@@ -112,6 +145,14 @@ type Link struct {
 // (conditions (i)–(iii) of Definition 2.6). Persons are considered as
 // potential common third parties z but never as members of a reported pair.
 func CloseLinks(g *pg.Graph, t float64, opts Options) []Link {
+	out, _ := CloseLinksCtx(context.Background(), g, t, opts)
+	return out
+}
+
+// CloseLinksCtx is CloseLinks under a context: it stops between third
+// parties (and inside each Φ enumeration) when the context is cancelled,
+// returning the links found so far plus the context's error.
+func CloseLinksCtx(ctx context.Context, g *pg.Graph, t float64, opts Options) ([]Link, error) {
 	if t <= 0 {
 		t = DefaultThreshold
 	}
@@ -135,10 +176,16 @@ func CloseLinks(g *pg.Graph, t float64, opts Options) []Link {
 	}
 
 	for _, z := range g.Nodes() {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		if len(g.OutLabel(z, pg.LabelShareholding)) == 0 {
 			continue
 		}
-		acc := AccumulatedFrom(g, z, opts)
+		acc, err := AccumulatedFromCtx(ctx, g, z, opts)
+		if err != nil {
+			return out, err
+		}
 		// Targets owned ≥ t by z.
 		var heavy []pg.NodeID
 		for y, v := range acc {
@@ -167,7 +214,7 @@ func CloseLinks(g *pg.Graph, t float64, opts Options) []Link {
 		}
 		return out[i].Pair.B < out[j].Pair.B
 	})
-	return out
+	return out, nil
 }
 
 // CommonOwners returns every entity z (person or company) whose accumulated

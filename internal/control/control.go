@@ -16,6 +16,7 @@
 package control
 
 import (
+	"context"
 	"sort"
 
 	"vadalink/internal/pg"
@@ -51,10 +52,21 @@ func votes(e *pg.Edge) float64 {
 	return w
 }
 
+// checkInterval is how many fixpoint iterations pass between context polls
+// in the Ctx solver variants: frequent enough for sub-millisecond
+// cancellation latency, rare enough to stay off the profile.
+const checkInterval = 256
+
 // Controls computes the set of companies controlled by x, per Definition
 // 2.3. The result excludes x itself and is sorted.
 func Controls(g *pg.Graph, x pg.NodeID) []pg.NodeID {
 	return GroupControls(g, []pg.NodeID{x})
+}
+
+// ControlsCtx is Controls under a context: the fixpoint aborts with the
+// context's error when it is cancelled or its deadline expires.
+func ControlsCtx(ctx context.Context, g *pg.Graph, x pg.NodeID) ([]pg.NodeID, error) {
+	return GroupControlsCtx(ctx, g, []pg.NodeID{x})
 }
 
 // GroupControls computes the set of companies jointly controlled by the
@@ -63,6 +75,14 @@ func Controls(g *pg.Graph, x pg.NodeID) []pg.NodeID {
 // group-controlled companies jointly own more than 50% of y. Members
 // themselves are never reported as controlled.
 func GroupControls(g *pg.Graph, members []pg.NodeID) []pg.NodeID {
+	out, _ := GroupControlsCtx(context.Background(), g, members)
+	return out
+}
+
+// GroupControlsCtx is GroupControls under a context. The fixpoint polls the
+// context between holder expansions and returns its error on cancellation;
+// the partial result computed so far is returned alongside.
+func GroupControlsCtx(ctx context.Context, g *pg.Graph, members []pg.NodeID) ([]pg.NodeID, error) {
 	holders := make(map[pg.NodeID]bool, len(members))
 	for _, m := range members {
 		holders[m] = true
@@ -96,7 +116,15 @@ func GroupControls(g *pg.Graph, members []pg.NodeID) []pg.NodeID {
 	}
 
 	queue := append([]pg.NodeID(nil), members...)
+	var cancelErr error
+	steps := 0
 	for len(queue) > 0 {
+		if steps++; steps%checkInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				cancelErr = err
+				break
+			}
+		}
 		h := queue[0]
 		queue = queue[1:]
 		for _, y := range addHolder(h) {
@@ -125,7 +153,7 @@ func GroupControls(g *pg.Graph, members []pg.NodeID) []pg.NodeID {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, cancelErr
 }
 
 // Pair is one control relationship: From controls To.
@@ -138,13 +166,28 @@ type Pair struct {
 // sorted by (From, To). This is the quadratic-in-the-worst-case baseline the
 // clustered augmentation of the core package avoids.
 func AllPairs(g *pg.Graph) []Pair {
+	out, _ := AllPairsCtx(context.Background(), g)
+	return out
+}
+
+// AllPairsCtx is AllPairs under a context: it stops between source nodes
+// when the context is cancelled, returning the pairs found so far plus the
+// context's error.
+func AllPairsCtx(ctx context.Context, g *pg.Graph) ([]Pair, error) {
 	var out []Pair
 	for _, x := range g.Nodes() {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		if len(g.OutLabel(x, pg.LabelShareholding)) == 0 {
 			continue
 		}
-		for _, y := range Controls(g, x) {
+		ys, err := ControlsCtx(ctx, g, x)
+		for _, y := range ys {
 			out = append(out, Pair{From: x, To: y})
+		}
+		if err != nil {
+			return out, err
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -153,7 +196,7 @@ func AllPairs(g *pg.Graph) []Pair {
 		}
 		return out[i].To < out[j].To
 	})
-	return out
+	return out, nil
 }
 
 // UltimateControllers returns the persons who control company y, directly
@@ -161,20 +204,35 @@ func AllPairs(g *pg.Graph) []Pair {
 // question of the anti-money-laundering use case the paper's introduction
 // names. The result is sorted.
 func UltimateControllers(g *pg.Graph, y pg.NodeID) []pg.NodeID {
+	out, _ := UltimateControllersCtx(context.Background(), g, y)
+	return out
+}
+
+// UltimateControllersCtx is UltimateControllers under a context: it stops
+// between candidate persons when the context is cancelled, returning the
+// controllers found so far plus the context's error.
+func UltimateControllersCtx(ctx context.Context, g *pg.Graph, y pg.NodeID) ([]pg.NodeID, error) {
 	var out []pg.NodeID
 	for _, p := range g.NodesWithLabel(pg.LabelPerson) {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		if len(g.OutLabel(p, pg.LabelShareholding)) == 0 {
 			continue
 		}
-		for _, c := range Controls(g, p) {
+		cs, err := ControlsCtx(ctx, g, p)
+		for _, c := range cs {
 			if c == y {
 				out = append(out, p)
 				break
 			}
 		}
+		if err != nil {
+			return out, err
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out, nil
 }
 
 // Orphans returns the companies with no ultimate controller — widely-held

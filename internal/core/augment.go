@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -26,6 +27,7 @@ import (
 
 	"vadalink/internal/cluster"
 	"vadalink/internal/embed"
+	"vadalink/internal/faultinject"
 	"vadalink/internal/pg"
 )
 
@@ -116,6 +118,15 @@ func New(cfg Config) (*Augmenter, error) {
 
 // Run mutates g by inserting predicted edges and returns the run report.
 func (a *Augmenter) Run(g *pg.Graph) (*Result, error) {
+	return a.RunContext(context.Background(), g)
+}
+
+// RunContext is Run under a context: the augmentation loop stops between
+// rounds and between blocks when the context is cancelled or its deadline
+// expires, returning the context's error. Edges inserted by completed
+// blocks stay in the graph (augmentation is monotone), so a later retry
+// resumes where the cancelled run left off.
+func (a *Augmenter) RunContext(ctx context.Context, g *pg.Graph) (*Result, error) {
 	res := &Result{Added: map[pg.Label]int{}}
 	nodes := a.cfg.Nodes
 	if nodes == nil {
@@ -125,6 +136,10 @@ func (a *Augmenter) Run(g *pg.Graph) (*Result, error) {
 	var blocks [][]pg.NodeID
 	changed := true
 	for changed && res.Rounds < a.cfg.MaxRounds {
+		faultinject.Fire(faultinject.SiteAugmentRound)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: augmentation cancelled after %d rounds: %w", res.Rounds, err)
+		}
 		changed = false
 		res.Rounds++
 
@@ -138,8 +153,11 @@ func (a *Augmenter) Run(g *pg.Graph) (*Result, error) {
 		res.Blocks = len(blocks)
 
 		t0 := time.Now()
-		proposals, comparisons := a.matchBlocks(g, blocks)
+		proposals, comparisons, err := a.matchBlocks(ctx, g, blocks)
 		res.Comparisons += comparisons
+		if err != nil {
+			return nil, fmt.Errorf("core: augmentation cancelled in round %d: %w", res.Rounds, err)
+		}
 		for _, e := range proposals {
 			if g.HasEdge(e.Label, e.From, e.To) {
 				continue
@@ -168,8 +186,10 @@ func (a *Augmenter) Run(g *pg.Graph) (*Result, error) {
 // matchBlocks runs every candidate over every block and returns the
 // proposals plus the comparison count. With cfg.Parallel, blocks are
 // distributed over one worker per CPU; results keep block order so the run
-// stays deterministic.
-func (a *Augmenter) matchBlocks(g *pg.Graph, blocks [][]pg.NodeID) ([]ProposedEdge, int64) {
+// stays deterministic. Cancellation is checked between blocks; already
+// matched blocks' proposals are discarded with the error (the caller
+// reports a cancelled round without applying it).
+func (a *Augmenter) matchBlocks(ctx context.Context, g *pg.Graph, blocks [][]pg.NodeID) ([]ProposedEdge, int64, error) {
 	matchOne := func(block []pg.NodeID) ([]ProposedEdge, int64) {
 		if len(block) < 2 {
 			return nil, 0
@@ -187,11 +207,14 @@ func (a *Augmenter) matchBlocks(g *pg.Graph, blocks [][]pg.NodeID) ([]ProposedEd
 		var all []ProposedEdge
 		var cmp int64
 		for _, block := range blocks {
+			if err := ctx.Err(); err != nil {
+				return nil, cmp, err
+			}
 			e, c := matchOne(block)
 			all = append(all, e...)
 			cmp += c
 		}
-		return all, cmp
+		return all, cmp, nil
 	}
 
 	type result struct {
@@ -215,7 +238,12 @@ func (a *Augmenter) matchBlocks(g *pg.Graph, blocks [][]pg.NodeID) ([]ProposedEd
 			}
 		}()
 	}
+	var feedErr error
 	for i := range blocks {
+		if err := ctx.Err(); err != nil {
+			feedErr = err
+			break
+		}
 		next <- i
 	}
 	close(next)
@@ -227,7 +255,10 @@ func (a *Augmenter) matchBlocks(g *pg.Graph, blocks [][]pg.NodeID) ([]ProposedEd
 		all = append(all, r.edges...)
 		cmp += r.cmp
 	}
-	return all, cmp
+	if feedErr != nil {
+		return nil, cmp, feedErr
+	}
+	return all, cmp, nil
 }
 
 // clusterNodes computes the two-level block structure of the current graph.

@@ -1,9 +1,12 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+
+	"vadalink/internal/faultinject"
 )
 
 // Builtin is a host function callable from rule bodies as #name(args...).
@@ -18,9 +21,16 @@ type Options struct {
 	// default of 1e-9.
 	MinAggDelta float64
 
-	// MaxRounds bounds the number of semi-naive rounds per stratum as a
-	// safety net. Zero means the default of 1_000_000.
+	// MaxRounds bounds the total number of semi-naive rounds of one Run as
+	// a safety net against diverging programs. Zero means the default of
+	// 1_000_000. Exceeding it yields a *BudgetExceededError with
+	// Limit == LimitRounds.
 	MaxRounds int
+
+	// Budget bounds the resources of one Run (derived facts, pending delta,
+	// cancellation-check cadence); the wall-clock deadline comes from the
+	// context passed to RunContext. The zero Budget imposes no limits.
+	Budget Budget
 
 	// TraceFn, when set, receives one line per derived fact (debugging aid).
 	TraceFn func(string)
@@ -58,6 +68,16 @@ type Engine struct {
 	aggState map[string]*aggGroup // keyed by ruleIdx|groupKey
 
 	rounds int // total semi-naive rounds of the last Run
+
+	// per-Run budget state: the run's context, the first budget violation
+	// (sticky until the evaluation unwinds), the derived-fact count, and
+	// the cooperative-check step counter.
+	ctx          context.Context
+	stopErr      *BudgetExceededError
+	derivedCount int
+	steps        int
+	nextCheck    int
+	curStratum   int
 
 	// provenance state (Options.Provenance): first derivation per fact key,
 	// plus the premise stack of the evaluation in flight and the prior
@@ -200,6 +220,24 @@ func (e *Engine) Facts(pred string) []Fact {
 		return nil
 	}
 	out := append([]Fact(nil), r.facts...)
+	SortFacts(out)
+	return out
+}
+
+// FactsN returns up to n facts of a predicate, taken in derivation order
+// and then sorted. Unlike Facts it never sorts the whole relation, so a
+// deadline-truncated caller serving a small page of a huge partial result
+// does not spend the latency its budget just saved. n <= 0 means all.
+func (e *Engine) FactsN(pred string, n int) []Fact {
+	r, ok := e.rels[pred]
+	if !ok {
+		return nil
+	}
+	fs := r.facts
+	if n > 0 && len(fs) > n {
+		fs = fs[:n]
+	}
+	out := append([]Fact(nil), fs...)
 	SortFacts(out)
 	return out
 }
@@ -394,16 +432,40 @@ func ruleHead(rule string) string {
 	return rule
 }
 
-// Run evaluates the program to fixpoint (stratum by stratum).
-func (e *Engine) Run() error {
+// Run evaluates the program to fixpoint (stratum by stratum) with no
+// deadline; resource limits from Options.Budget still apply.
+func (e *Engine) Run() error { return e.RunContext(context.Background()) }
+
+// RunContext evaluates the program to fixpoint under the context's deadline
+// and the configured Budget. When a limit trips, it returns a
+// *BudgetExceededError naming the limit; the facts derived before the trip
+// remain readable through Facts/Match/Query, so callers can serve partial
+// results and distinguish "timed out" from "diverged" from "done".
+func (e *Engine) RunContext(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.ctx = ctx
+	e.stopErr = nil
 	e.rounds = 0
-	for _, stratum := range e.strata {
+	e.derivedCount = 0
+	e.steps = 0
+	e.nextCheck = e.opts.Budget.checkEvery()
+	for si, stratum := range e.strata {
+		e.curStratum = si
 		if err := e.runStratum(stratum); err != nil {
 			return err
+		}
+		if e.stopErr != nil {
+			return e.stopErr
 		}
 	}
 	return nil
 }
+
+// DerivedCount reports the number of facts derived by the last Run,
+// including a partial Run stopped by the budget.
+func (e *Engine) DerivedCount() int { return e.derivedCount }
 
 func (e *Engine) runStratum(ruleIdxs []int) error {
 	// Predicates derived inside this stratum: delta-tracking applies to them.
@@ -416,8 +478,17 @@ func (e *Engine) runStratum(ruleIdxs []int) error {
 
 	// Round 0: evaluate every rule against the full store.
 	delta := make(map[string][]Fact)
+	pending := 0 // facts across delta, against Budget.MaxDeltaQueue
 	addDerived := func(f Fact) {
 		if e.rel(f.Pred).insert(f) {
+			e.derivedCount++
+			if b := e.opts.Budget; b.MaxFacts > 0 && e.derivedCount > b.MaxFacts {
+				e.trip(LimitFacts, b.MaxFacts, nil)
+			}
+			pending++
+			if b := e.opts.Budget; b.MaxDeltaQueue > 0 && pending > b.MaxDeltaQueue {
+				e.trip(LimitDeltaQueue, b.MaxDeltaQueue, nil)
+			}
 			if e.opts.TraceFn != nil {
 				e.opts.TraceFn("derive " + f.String())
 			}
@@ -441,6 +512,7 @@ func (e *Engine) runStratum(ruleIdxs []int) error {
 			delta[f.Pred] = append(delta[f.Pred], f)
 		}
 	}
+	faultinject.Fire(faultinject.SiteDatalogRound)
 	for _, ri := range ruleIdxs {
 		if err := e.evalRule(ri, nil, -1, addDerived); err != nil {
 			return err
@@ -449,11 +521,19 @@ func (e *Engine) runStratum(ruleIdxs []int) error {
 	e.rounds++
 
 	for len(delta) > 0 {
+		faultinject.Fire(faultinject.SiteDatalogRound)
+		if e.stopErr != nil {
+			return e.stopErr
+		}
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
 		if e.rounds >= e.opts.MaxRounds {
-			return fmt.Errorf("datalog: exceeded MaxRounds=%d (non-terminating program?)", e.opts.MaxRounds)
+			return e.trip(LimitRounds, e.opts.MaxRounds, nil)
 		}
 		prevDelta := delta
 		delta = make(map[string][]Fact)
+		pending = 0
 		if e.opts.Naive {
 			for _, ri := range ruleIdxs {
 				if err := e.evalRule(ri, nil, -1, addDerived); err != nil {
@@ -503,6 +583,11 @@ func (e *Engine) evalRule(ri int, deltaFacts []Fact, deltaLit int, emit func(Fac
 func (e *Engine) evalBody(ri int, rule Rule, meta ruleMeta, pos int, binding map[Variable]any,
 	deltaFacts []Fact, deltaLit int, emit func(Fact)) error {
 
+	// Cooperative cancellation: every body-literal expansion is a step, so
+	// even a single enormous join round honors deadlines and budgets.
+	if err := e.step(); err != nil {
+		return err
+	}
 	if pos == len(meta.order) {
 		return e.fireHead(ri, rule, meta, binding, emit)
 	}

@@ -13,11 +13,15 @@
 // IDs are free-form strings (fiscal codes in production); the loader assigns
 // graph node IDs and returns the mapping. Malformed rows fail loudly with
 // line numbers — silent data loss in an ETL job is how reporting graphs go
-// wrong.
+// wrong. The loader streams (it never buffers a whole file), bounds row
+// width and record size against hostile input, and reports the first
+// MaxReportedRows malformed rows in one *LoadError instead of stopping at
+// the first, so one pass over a dirty export shows the shape of the dirt.
 package etl
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -25,6 +29,66 @@ import (
 
 	"vadalink/internal/pg"
 )
+
+// Input hardening bounds: rows wider than MaxColumns or heavier than
+// MaxRecordBytes are malformed regardless of content.
+const (
+	MaxColumns     = 64
+	MaxRecordBytes = 1 << 20 // 1 MiB per record
+	// MaxReportedRows caps how many malformed rows a LoadError carries.
+	MaxReportedRows = 10
+)
+
+// RowError locates one malformed row.
+type RowError struct {
+	File string // which stream: "companies", "persons", "shareholdings"
+	Line int    // 1-based line in that stream
+	Msg  string
+}
+
+func (e RowError) String() string {
+	return fmt.Sprintf("%s line %d: %s", e.File, e.Line, e.Msg)
+}
+
+// LoadError reports every malformed row of a Load pass, up to
+// MaxReportedRows; Total counts all of them.
+type LoadError struct {
+	Rows  []RowError
+	Total int
+}
+
+func (e *LoadError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "etl: %d malformed row(s)", e.Total)
+	if e.Total > len(e.Rows) {
+		fmt.Fprintf(&b, " (first %d shown)", len(e.Rows))
+	}
+	for _, r := range e.Rows {
+		b.WriteString("\n\t")
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// errCollector accumulates row errors across the three streams.
+type errCollector struct {
+	rows  []RowError
+	total int
+}
+
+func (c *errCollector) add(file string, line int, format string, args ...any) {
+	c.total++
+	if len(c.rows) < MaxReportedRows {
+		c.rows = append(c.rows, RowError{File: file, Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (c *errCollector) err() error {
+	if c.total == 0 {
+		return nil
+	}
+	return &LoadError{Rows: c.rows, Total: c.total}
+}
 
 // Result is a loaded company graph plus the external-ID mapping.
 type Result struct {
@@ -34,64 +98,106 @@ type Result struct {
 }
 
 // Load reads the three CSV streams and builds the company graph. Any reader
-// may be nil, in which case that entity class is absent. Shareholding rows
-// referencing unknown IDs are an error.
+// may be nil, in which case that entity class is absent. Malformed rows
+// (bad syntax, over-wide or over-size records, unknown IDs, out-of-range
+// shares) are collected and returned together as a *LoadError; rows beyond
+// the bounds are skipped, never partially applied.
 func Load(companies, persons, shareholdings io.Reader) (*Result, error) {
 	res := &Result{Graph: pg.New(), IDs: map[string]pg.NodeID{}}
+	var c errCollector
 	if companies != nil {
-		if err := res.loadCompanies(companies); err != nil {
+		if err := res.loadCompanies(companies, &c); err != nil {
 			return nil, err
 		}
 	}
 	if persons != nil {
-		if err := res.loadPersons(persons); err != nil {
+		if err := res.loadPersons(persons, &c); err != nil {
 			return nil, err
 		}
 	}
 	if shareholdings != nil {
-		if err := res.loadShareholdings(shareholdings); err != nil {
+		if err := res.loadShareholdings(shareholdings, &c); err != nil {
 			return nil, err
 		}
+	}
+	if err := c.err(); err != nil {
+		return nil, err
+	}
+	if err := res.Graph.Validate(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
 
-// readAll reads CSV rows, skipping an optional header whose first column
-// matches headerFirst.
-func readAll(r io.Reader, headerFirst string, minCols int, what string) ([][]string, error) {
+// forEachRow streams CSV records to fn, skipping an optional header whose
+// first column matches headerFirst. Structural problems (bad quoting,
+// over-wide rows, over-size records, too few columns) go to the collector
+// and the row is skipped; only non-CSV I/O errors abort the stream.
+func forEachRow(r io.Reader, headerFirst string, minCols int, what string, c *errCollector, fn func(line int, rec []string)) error {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
-	recs, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("etl: reading %s: %w", what, err)
-	}
-	var out [][]string
-	for i, rec := range recs {
-		if i == 0 && len(rec) > 0 && strings.EqualFold(strings.TrimSpace(rec[0]), headerFirst) {
+	first := true
+	for {
+		offsetBefore := cr.InputOffset()
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			var perr *csv.ParseError
+			if errors.As(err, &perr) {
+				c.add(what, perr.Line, "%v", perr.Err)
+				if cr.InputOffset() == offsetBefore {
+					// No forward progress: the reader is stuck (e.g. an
+					// unterminated quote at EOF); stop instead of spinning.
+					return nil
+				}
+				continue
+			}
+			return fmt.Errorf("etl: reading %s: %w", what, err)
+		}
+		line, _ := cr.FieldPos(0)
+		if first {
+			first = false
+			if len(rec) > 0 && strings.EqualFold(strings.TrimSpace(rec[0]), headerFirst) {
+				continue
+			}
+		}
+		if len(rec) > MaxColumns {
+			c.add(what, line, "row has %d columns, max %d", len(rec), MaxColumns)
+			continue
+		}
+		size := 0
+		for _, f := range rec {
+			size += len(f)
+		}
+		if size > MaxRecordBytes {
+			c.add(what, line, "record is %d bytes, max %d", size, MaxRecordBytes)
 			continue
 		}
 		if len(rec) < minCols {
-			return nil, fmt.Errorf("etl: %s row %d: want ≥ %d columns, got %d", what, i+1, minCols, len(rec))
+			c.add(what, line, "want ≥ %d columns, got %d", minCols, len(rec))
+			continue
 		}
-		out = append(out, rec)
+		fn(line, rec)
 	}
-	return out, nil
 }
 
-func (r *Result) register(extID string, id pg.NodeID, what string, row int) error {
+func (r *Result) register(extID string, id pg.NodeID) bool {
 	if _, dup := r.IDs[extID]; dup {
-		return fmt.Errorf("etl: %s row %d: duplicate id %q", what, row, extID)
+		return false
 	}
 	r.IDs[extID] = id
-	return nil
+	return true
 }
 
-func (r *Result) loadCompanies(in io.Reader) error {
-	rows, err := readAll(in, "id", 2, "companies")
-	if err != nil {
-		return err
-	}
-	for i, rec := range rows {
+func (r *Result) loadCompanies(in io.Reader, c *errCollector) error {
+	return forEachRow(in, "id", 2, "companies", c, func(line int, rec []string) {
+		extID := strings.TrimSpace(rec[0])
+		if _, dup := r.IDs[extID]; dup {
+			c.add("companies", line, "duplicate id %q", extID)
+			return
+		}
 		props := pg.Properties{"name": rec[1]}
 		if len(rec) > 2 {
 			props["sector"] = rec[2]
@@ -102,25 +208,23 @@ func (r *Result) loadCompanies(in io.Reader) error {
 		if len(rec) > 4 {
 			props["city"] = rec[4]
 		}
-		id := r.Graph.AddNode(pg.LabelCompany, props)
-		if err := r.register(strings.TrimSpace(rec[0]), id, "companies", i+1); err != nil {
-			return err
-		}
-	}
-	return nil
+		r.register(extID, r.Graph.AddNode(pg.LabelCompany, props))
+	})
 }
 
-func (r *Result) loadPersons(in io.Reader) error {
-	rows, err := readAll(in, "id", 3, "persons")
-	if err != nil {
-		return err
-	}
-	for i, rec := range rows {
+func (r *Result) loadPersons(in io.Reader, c *errCollector) error {
+	return forEachRow(in, "id", 3, "persons", c, func(line int, rec []string) {
+		extID := strings.TrimSpace(rec[0])
+		if _, dup := r.IDs[extID]; dup {
+			c.add("persons", line, "duplicate id %q", extID)
+			return
+		}
 		props := pg.Properties{"name": rec[1], "surname": rec[2]}
 		if len(rec) > 3 && rec[3] != "" {
 			birth, err := strconv.ParseFloat(rec[3], 64)
 			if err != nil {
-				return fmt.Errorf("etl: persons row %d: bad birth year %q", i+1, rec[3])
+				c.add("persons", line, "bad birth year %q", rec[3])
+				return
 			}
 			props["birth"] = birth
 		}
@@ -130,39 +234,33 @@ func (r *Result) loadPersons(in io.Reader) error {
 		if len(rec) > 5 {
 			props["city"] = rec[5]
 		}
-		id := r.Graph.AddNode(pg.LabelPerson, props)
-		if err := r.register(strings.TrimSpace(rec[0]), id, "persons", i+1); err != nil {
-			return err
-		}
-	}
-	return nil
+		r.register(extID, r.Graph.AddNode(pg.LabelPerson, props))
+	})
 }
 
-func (r *Result) loadShareholdings(in io.Reader) error {
-	rows, err := readAll(in, "owner", 3, "shareholdings")
-	if err != nil {
-		return err
-	}
-	for i, rec := range rows {
+func (r *Result) loadShareholdings(in io.Reader, c *errCollector) error {
+	return forEachRow(in, "owner", 3, "shareholdings", c, func(line int, rec []string) {
 		owner, ok := r.IDs[strings.TrimSpace(rec[0])]
 		if !ok {
-			return fmt.Errorf("etl: shareholdings row %d: unknown owner %q", i+1, rec[0])
+			c.add("shareholdings", line, "unknown owner %q", rec[0])
+			return
 		}
 		owned, ok := r.IDs[strings.TrimSpace(rec[1])]
 		if !ok {
-			return fmt.Errorf("etl: shareholdings row %d: unknown owned company %q", i+1, rec[1])
+			c.add("shareholdings", line, "unknown owned company %q", rec[1])
+			return
 		}
 		share, err := strconv.ParseFloat(rec[2], 64)
 		if err != nil || share <= 0 || share > 1 {
-			return fmt.Errorf("etl: shareholdings row %d: bad share %q (want a fraction in (0,1])", i+1, rec[2])
+			c.add("shareholdings", line, "bad share %q (want a fraction in (0,1])", rec[2])
+			return
 		}
 		props := pg.Properties{pg.WeightProp: share}
 		if len(rec) > 3 && rec[3] != "" {
 			props["right"] = rec[3]
 		}
 		if _, err := r.Graph.AddEdge(pg.LabelShareholding, owner, owned, props); err != nil {
-			return fmt.Errorf("etl: shareholdings row %d: %w", i+1, err)
+			c.add("shareholdings", line, "%v", err)
 		}
-	}
-	return r.Graph.Validate()
+	})
 }

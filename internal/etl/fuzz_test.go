@@ -1,0 +1,32 @@
+package etl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad asserts the loader's hardening contract on arbitrary bytes: no
+// panic, no hang, and either a usable graph or an error — never both.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte("id,name\nC1,Acme\nC2,Beta\n"),
+		[]byte("id,name,surname\nP1,Mario,Rossi\n"),
+		[]byte("owner,owned,share\nP1,C1,0.6\n"))
+	f.Add([]byte("C1,\"unterminated\n"), []byte(nil), []byte(nil))
+	f.Add([]byte("C1"+bytes.NewBuffer(bytes.Repeat([]byte(",x"), 80)).String()+"\n"),
+		[]byte(nil), []byte(nil))
+	f.Add([]byte("\xff\xfe,\x00\n"), []byte("P1,a"), []byte("a,b,c,d,e"))
+	f.Fuzz(func(t *testing.T, companies, persons, shares []byte) {
+		res, err := Load(bytes.NewReader(companies), bytes.NewReader(persons), bytes.NewReader(shares))
+		if (res == nil) == (err == nil) {
+			t.Fatalf("want exactly one of result/error, got res=%v err=%v", res, err)
+		}
+		if res != nil {
+			if res.Graph == nil || res.IDs == nil {
+				t.Fatalf("successful load with nil graph or ids: %+v", res)
+			}
+			if err := res.Graph.Validate(); err != nil {
+				t.Fatalf("loaded graph fails validation: %v", err)
+			}
+		}
+	})
+}

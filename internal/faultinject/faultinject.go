@@ -1,0 +1,74 @@
+// Package faultinject is a test-only fault-injection registry: production
+// code calls Fire at named sites, and tests register hooks that sleep, panic
+// or cancel to simulate slow strata, mid-chase aborts and handler crashes.
+//
+// With no hooks registered (the production state) Fire is a single atomic
+// load — cheap enough to leave in hot loops. Sites are plain strings, listed
+// as Site* constants next to the code that fires them.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Instrumented sites. A site name is stable API for tests; firing an
+// unregistered site is a no-op.
+const (
+	// SiteDatalogRound fires at the start of every semi-naive round of the
+	// chase (internal/datalog). Hooks here simulate slow strata.
+	SiteDatalogRound = "datalog.round"
+	// SiteAPIHandler fires on entry of every reasonapi request, inside the
+	// panic-recovery middleware. Hooks here simulate handler crashes.
+	SiteAPIHandler = "reasonapi.handler"
+	// SiteAugmentRound fires at the start of every KG-augmentation round
+	// (internal/core). Hooks here simulate slow augmentation.
+	SiteAugmentRound = "core.round"
+)
+
+// Fn is an injected behavior. It may sleep, panic, or do nothing.
+type Fn func()
+
+var (
+	armed atomic.Bool // true while any hook is registered
+	mu    sync.RWMutex
+	hooks = map[string]Fn{}
+)
+
+// Set registers (or replaces) the hook for a site. Tests must pair Set with
+// Clear or Reset (typically via t.Cleanup).
+func Set(site string, fn Fn) {
+	mu.Lock()
+	defer mu.Unlock()
+	if fn == nil {
+		delete(hooks, site)
+	} else {
+		hooks[site] = fn
+	}
+	armed.Store(len(hooks) > 0)
+}
+
+// Clear removes the hook for a site.
+func Clear(site string) { Set(site, nil) }
+
+// Reset removes every hook.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks = map[string]Fn{}
+	armed.Store(false)
+}
+
+// Fire invokes the hook registered for site, if any. It is safe for
+// concurrent use and near-free when no hooks are registered.
+func Fire(site string) {
+	if !armed.Load() {
+		return
+	}
+	mu.RLock()
+	fn := hooks[site]
+	mu.RUnlock()
+	if fn != nil {
+		fn()
+	}
+}

@@ -1,0 +1,50 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFireRunsRegisteredHook(t *testing.T) {
+	t.Cleanup(Reset)
+	n := 0
+	Set("site.a", func() { n++ })
+	Fire("site.a")
+	Fire("site.b") // unregistered: no-op
+	Fire("site.a")
+	if n != 2 {
+		t.Errorf("hook ran %d times, want 2", n)
+	}
+	Clear("site.a")
+	Fire("site.a")
+	if n != 2 {
+		t.Errorf("cleared hook still fired")
+	}
+}
+
+func TestFireDisarmedIsNoop(t *testing.T) {
+	Reset()
+	Fire("anything") // must not panic or block
+}
+
+func TestConcurrentSetAndFire(t *testing.T) {
+	t.Cleanup(Reset)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				Set("race.site", func() {})
+				Clear("race.site")
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				Fire("race.site")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -6,6 +6,12 @@ import "fmt"
 // examples (Figures 1 and 2) are written: companies and persons are referred
 // to by identifiers like "C4" or "P1", and shareholding edges by
 // (owner, owned, share) triples.
+//
+// The error-returning methods (AddNode, AddOwnership, AddEdge, Lookup) are
+// the primary API — use them when the input is untrusted (ETL, request
+// payloads). Own, Link and ID are Must-style wrappers that panic on
+// malformed input; they keep the chained literal style of the figure
+// constructors and tests, where a failure is a programming error.
 type Builder struct {
 	g     *Graph
 	byKey map[string]NodeID
@@ -35,53 +41,90 @@ func (b *Builder) PersonWith(key string, props Properties) NodeID {
 	return id
 }
 
-func (b *Builder) node(key string, label Label) NodeID {
+// AddNode ensures a node named key with the given label exists and returns
+// its ID. It reports an error when the key already names a node with a
+// different label — the mistake the panicking Company/Person helpers can
+// only crash on.
+func (b *Builder) AddNode(key string, label Label) (NodeID, error) {
 	if id, ok := b.byKey[key]; ok {
 		if got := b.g.Node(id).Label; got != label {
-			panic(fmt.Sprintf("pg: builder: node %q already exists with label %s, requested %s", key, got, label))
+			return 0, fmt.Errorf("pg: builder: node %q already exists with label %s, requested %s", key, got, label)
 		}
-		return id
+		return id, nil
 	}
 	id := b.g.AddNode(label, Properties{"name": key})
 	b.byKey[key] = id
+	return id, nil
+}
+
+func (b *Builder) node(key string, label Label) NodeID {
+	id, err := b.AddNode(key, label)
+	if err != nil {
+		panic(err.Error())
+	}
 	return id
 }
 
-// Own adds a shareholding edge owner → owned with share w. Both endpoints
-// must already exist (create them with Company / Person first), mirroring the
-// paper convention that node type is explicit.
-func (b *Builder) Own(owner, owned string, w float64) *Builder {
+// AddOwnership adds a shareholding edge owner → owned with share w. Both
+// endpoints must already exist (create them with AddNode / Company / Person
+// first), mirroring the paper convention that node type is explicit.
+// Unknown endpoints and out-of-range shares (w must be in (0, 1]) are
+// reported as errors.
+func (b *Builder) AddOwnership(owner, owned string, w float64) (EdgeID, error) {
+	if w <= 0 || w > 1 {
+		return 0, fmt.Errorf("pg: builder: share %v out of range (0, 1]", w)
+	}
 	from, ok := b.byKey[owner]
 	if !ok {
-		panic(fmt.Sprintf("pg: builder: unknown owner %q", owner))
+		return 0, fmt.Errorf("pg: builder: unknown owner %q", owner)
 	}
 	to, ok := b.byKey[owned]
 	if !ok {
-		panic(fmt.Sprintf("pg: builder: unknown owned company %q", owned))
+		return 0, fmt.Errorf("pg: builder: unknown owned company %q", owned)
 	}
-	if _, err := b.g.AddShare(from, to, w); err != nil {
-		panic(err)
+	return b.g.AddShare(from, to, w)
+}
+
+// Own is AddOwnership in chained Must style: it panics on malformed input.
+func (b *Builder) Own(owner, owned string, w float64) *Builder {
+	if _, err := b.AddOwnership(owner, owned, w); err != nil {
+		panic(err.Error())
 	}
 	return b
 }
 
-// Link adds an arbitrary labelled edge between two named nodes.
-func (b *Builder) Link(label Label, from, to string, props Properties) *Builder {
+// AddEdge adds an arbitrary labelled edge between two named nodes,
+// reporting unknown endpoints as errors.
+func (b *Builder) AddEdge(label Label, from, to string, props Properties) (EdgeID, error) {
 	f, ok := b.byKey[from]
 	if !ok {
-		panic(fmt.Sprintf("pg: builder: unknown node %q", from))
+		return 0, fmt.Errorf("pg: builder: unknown node %q", from)
 	}
 	t, ok := b.byKey[to]
 	if !ok {
-		panic(fmt.Sprintf("pg: builder: unknown node %q", to))
+		return 0, fmt.Errorf("pg: builder: unknown node %q", to)
 	}
-	b.g.MustAddEdge(label, f, t, props)
+	return b.g.AddEdge(label, f, t, props)
+}
+
+// Link is AddEdge in chained Must style: it panics on malformed input.
+func (b *Builder) Link(label Label, from, to string, props Properties) *Builder {
+	if _, err := b.AddEdge(label, from, to, props); err != nil {
+		panic(err.Error())
+	}
 	return b
 }
 
-// ID returns the node ID for a named node; it panics if the name is unknown.
-func (b *Builder) ID(key string) NodeID {
+// Lookup returns the node ID for a named node, reporting whether it exists.
+func (b *Builder) Lookup(key string) (NodeID, bool) {
 	id, ok := b.byKey[key]
+	return id, ok
+}
+
+// ID returns the node ID for a named node; it panics if the name is unknown.
+// Use Lookup when the name comes from untrusted input.
+func (b *Builder) ID(key string) NodeID {
+	id, ok := b.Lookup(key)
 	if !ok {
 		panic(fmt.Sprintf("pg: builder: unknown node %q", key))
 	}

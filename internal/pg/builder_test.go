@@ -1,0 +1,81 @@
+package pg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderAddOwnershipErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Company("C1")
+	b.Company("C2")
+
+	if _, err := b.AddOwnership("C1", "C2", 0.4); err != nil {
+		t.Fatalf("valid ownership rejected: %v", err)
+	}
+	if _, err := b.AddOwnership("Cx", "C2", 0.4); err == nil || !strings.Contains(err.Error(), "unknown owner") {
+		t.Errorf("unknown owner: err = %v", err)
+	}
+	if _, err := b.AddOwnership("C1", "Cx", 0.4); err == nil || !strings.Contains(err.Error(), "unknown owned") {
+		t.Errorf("unknown owned: err = %v", err)
+	}
+	if _, err := b.AddOwnership("C1", "C2", 1.5); err == nil {
+		t.Error("share > 1 accepted")
+	}
+	if _, err := b.AddOwnership("C1", "C2", -0.1); err == nil {
+		t.Error("negative share accepted")
+	}
+}
+
+func TestBuilderAddEdgeErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Company("C1")
+	b.Person("P1")
+	if _, err := b.AddEdge(LabelControl, "P1", "C1", nil); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	if _, err := b.AddEdge(LabelControl, "P1", "nope", nil); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+	if _, err := b.AddEdge(LabelControl, "nope", "C1", nil); err == nil {
+		t.Error("unknown source accepted")
+	}
+}
+
+func TestBuilderAddNodeLabelConflict(t *testing.T) {
+	b := NewBuilder()
+	id, err := b.AddNode("X", LabelCompany)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := b.AddNode("X", LabelCompany)
+	if err != nil || again != id {
+		t.Errorf("re-adding same node: id=%v err=%v, want %v, nil", again, err, id)
+	}
+	if _, err := b.AddNode("X", LabelPerson); err == nil {
+		t.Error("label conflict accepted")
+	}
+}
+
+func TestBuilderLookup(t *testing.T) {
+	b := NewBuilder()
+	id := b.Company("C1")
+	if got, ok := b.Lookup("C1"); !ok || got != id {
+		t.Errorf("Lookup(C1) = %v, %v", got, ok)
+	}
+	if _, ok := b.Lookup("missing"); ok {
+		t.Error("Lookup(missing) reported ok")
+	}
+}
+
+// The chained Must-style helpers stay panicking — they back the figure
+// constructors and test literals where malformed input is a programming
+// error.
+func TestBuilderOwnPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Own with unknown node did not panic")
+		}
+	}()
+	NewBuilder().Own("nope", "also-nope", 0.5)
+}

@@ -1,0 +1,324 @@
+package reasonapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vadalink/internal/faultinject"
+	"vadalink/internal/graphgen"
+	"vadalink/internal/pg"
+)
+
+// divergingProgram never reaches a fixpoint: every p(X) invents a fresh
+// null Z which feeds back into p. Seeded from the own facts of the graph.
+const divergingProgram = `own(X, Y, W) -> p(X).
+p(X) -> q(X, Z).
+q(X, Z) -> p(Z).`
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+// TestReasonEndpointDeadlineTruncates is the headline acceptance test: a
+// non-terminating program submitted over the API comes back as a JSON
+// partial result naming the tripped limit, within (about) the configured
+// 100ms budget instead of hanging the server.
+func TestReasonEndpointDeadlineTruncates(t *testing.T) {
+	g, _ := pg.Figure2()
+	srv := httptest.NewServer(NewServerWith(g, Config{Timeout: 100 * time.Millisecond}).Handler())
+	defer srv.Close()
+
+	start := time.Now()
+	resp, out := postJSON(t, srv.URL+"/v1/reason",
+		fmt.Sprintf(`{"program": %q, "predicates": ["p"], "maxFactsPerPredicate": 5}`, divergingProgram))
+	elapsed := time.Since(start)
+
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, body = %v", resp.StatusCode, out)
+	}
+	if out["truncated"] != true {
+		t.Fatalf("response not marked truncated: %v", out)
+	}
+	if out["limit"] != "deadline" {
+		t.Errorf("limit = %v, want deadline", out["limit"])
+	}
+	if _, ok := out["detail"].(string); !ok {
+		t.Errorf("missing detail in %v", out)
+	}
+	if out["derived"] == nil || out["derived"].(float64) <= 0 {
+		t.Errorf("no partial derivation reported: %v", out["derived"])
+	}
+	// 100ms budget + cooperative-check latency + test-host slack.
+	if elapsed > 5*time.Second {
+		t.Errorf("request took %v, the deadline did not stop the chase", elapsed)
+	}
+}
+
+// TestReasonEndpointFactBudget: the per-request maxFacts tightens the
+// server budget and names itself in the truncation metadata.
+func TestReasonEndpointFactBudget(t *testing.T) {
+	g, _ := pg.Figure2()
+	srv := httptest.NewServer(NewServerWith(g, Config{}).Handler())
+	defer srv.Close()
+
+	resp, out := postJSON(t, srv.URL+"/v1/reason",
+		fmt.Sprintf(`{"program": %q, "maxFacts": 200}`, divergingProgram))
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, body = %v", resp.StatusCode, out)
+	}
+	if out["truncated"] != true || out["limit"] != "max-facts" {
+		t.Fatalf("want truncated via max-facts, got %v", out)
+	}
+	facts, ok := out["facts"].(map[string]any)
+	if !ok || len(facts) == 0 {
+		t.Errorf("no partial facts in %v", out)
+	}
+}
+
+// TestReasonEndpointComplete: a terminating program reports no truncation.
+func TestReasonEndpointComplete(t *testing.T) {
+	g, _ := pg.Figure2()
+	srv := httptest.NewServer(NewServer(g).Handler())
+	defer srv.Close()
+
+	resp, out := postJSON(t, srv.URL+"/v1/reason",
+		`{"program": "own(X, Y, W) -> holds(X, Y)."}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, body = %v", resp.StatusCode, out)
+	}
+	if _, present := out["truncated"]; present {
+		t.Errorf("complete run marked truncated: %v", out)
+	}
+	rows := out["facts"].(map[string]any)["holds"].([]any)
+	if len(rows) == 0 {
+		t.Error("no holds facts returned")
+	}
+}
+
+func TestReasonEndpointBadProgram(t *testing.T) {
+	g, _ := pg.Figure2()
+	srv := httptest.NewServer(NewServer(g).Handler())
+	defer srv.Close()
+	resp, _ := postJSON(t, srv.URL+"/v1/reason", `{"program": "p(X ->"}`)
+	if resp.StatusCode != 400 {
+		t.Errorf("parse error: status = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/reason", `{}`)
+	if resp.StatusCode != 400 {
+		t.Errorf("missing program: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHandlerPanicRecovery: an injected panic in a handler becomes a JSON
+// 500 with a request ID, and the server keeps serving afterwards.
+func TestHandlerPanicRecovery(t *testing.T) {
+	srv, _ := testServer(t)
+	t.Cleanup(faultinject.Reset)
+
+	faultinject.Set(faultinject.SiteAPIHandler, func() { panic("injected crash") })
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Error     string `json:"error"`
+		RequestID string `json:"requestId"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding panic response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(out.Error, "injected crash") {
+		t.Errorf("error = %q, want the panic value", out.Error)
+	}
+	if out.RequestID == "" {
+		t.Error("no requestId in panic response")
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID header")
+	}
+
+	// The process survived: the next request succeeds.
+	faultinject.Clear(faultinject.SiteAPIHandler)
+	if code := getJSON(t, srv.URL+"/v1/stats", nil); code != 200 {
+		t.Fatalf("server dead after panic: status = %d", code)
+	}
+}
+
+// TestServeGracefulDrain: cancelling Serve's context closes the listener but
+// lets the in-flight request finish before the server exits.
+func TestServeGracefulDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inFlight := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(inFlight)
+		time.Sleep(300 * time.Millisecond)
+		fmt.Fprint(w, "done")
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- Serve(ctx, ln, mux, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String()
+	respc := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(url + "/slow")
+		if err != nil {
+			respc <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		respc <- string(b)
+	}()
+
+	<-inFlight // request reached the handler
+	cancel()   // SIGTERM equivalent: start draining
+
+	if got := <-respc; got != "done" {
+		t.Errorf("in-flight request = %q, want %q (dropped during drain?)", got, "done")
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Errorf("Serve returned %v after drain, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+	// The listener is closed: new connections are refused.
+	c := &http.Client{Timeout: time.Second}
+	if _, err := c.Get(url + "/slow"); err == nil {
+		t.Error("server still accepting connections after shutdown")
+	}
+}
+
+// TestConcurrentReadsDuringAugment is the satellite concurrency test: read
+// endpoints are hammered while /v1/augment mutates the graph, under -race.
+// A second concurrent augment must get an immediate 503 with Retry-After.
+func TestConcurrentReadsDuringAugment(t *testing.T) {
+	it := graphgen.NewItalian(graphgen.ItalianConfig{Persons: 60, Companies: 20, Seed: 3})
+	srv := httptest.NewServer(NewServerWith(it.Graph, Config{Timeout: 30 * time.Second}).Handler())
+	defer srv.Close()
+	t.Cleanup(faultinject.Reset)
+
+	// Gate the first augmentation round so the busy window is deterministic,
+	// then pad later rounds so reads genuinely overlap the mutation.
+	gate := make(chan struct{})
+	var started sync.Once
+	startedc := make(chan struct{})
+	faultinject.Set(faultinject.SiteAugmentRound, func() {
+		started.Do(func() { close(startedc) })
+		<-gate
+		time.Sleep(2 * time.Millisecond)
+	})
+
+	augDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/v1/augment", "application/json",
+			strings.NewReader(`{"classes":["family"],"noCluster":true}`))
+		if err != nil {
+			augDone <- -1
+			return
+		}
+		resp.Body.Close()
+		augDone <- resp.StatusCode
+	}()
+
+	<-startedc // first augment is inside RunContext, holding the busy lock
+
+	// Concurrent augment: immediate 503 + Retry-After, no queueing.
+	resp, err := http.Post(srv.URL+"/v1/augment", "application/json",
+		strings.NewReader(`{"classes":["family"],"noCluster":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("concurrent augment: status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+
+	close(gate) // let the augmentation proceed while reads hammer it
+
+	nodes := it.Graph.Nodes()
+	var wg sync.WaitGroup
+	errs := make(chan string, 256)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				node := nodes[(w*20+i)%len(nodes)]
+				for _, path := range []string{
+					"/v1/control?node=" + itoa(node),
+					"/v1/closelinks",
+					"/v1/stats",
+				} {
+					resp, err := http.Get(srv.URL + path)
+					if err != nil {
+						errs <- err.Error()
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						errs <- fmt.Sprintf("%s: status %d", path, resp.StatusCode)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("concurrent read failed: %s", e)
+	}
+
+	if code := <-augDone; code != 200 {
+		t.Errorf("gated augment finished with status %d, want 200", code)
+	}
+}
+
+// TestRequestIDOnEveryResponse: the middleware stamps each response.
+func TestRequestIDOnEveryResponse(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("missing X-Request-ID")
+	}
+}

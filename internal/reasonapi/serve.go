@@ -1,0 +1,55 @@
+package reasonapi
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultDrainTimeout bounds how long Serve waits for in-flight requests
+// after its context is cancelled.
+const DefaultDrainTimeout = 10 * time.Second
+
+// Serve runs handler on the listener until ctx is cancelled, then shuts the
+// server down gracefully: the listener closes immediately, in-flight
+// requests get up to drainTimeout to finish, and only then are their
+// connections forced closed. It returns nil after a clean drain, the drain
+// error if the timeout expired, or the serve error if the listener failed
+// first.
+//
+// Callers wire this to SIGINT/SIGTERM with signal.NotifyContext, so an
+// operator's Ctrl-C or an orchestrator's TERM drains instead of dropping
+// requests mid-chase.
+func Serve(ctx context.Context, ln net.Listener, handler http.Handler, drainTimeout time.Duration) error {
+	if drainTimeout <= 0 {
+		drainTimeout = DefaultDrainTimeout
+	}
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		err := srv.Shutdown(drainCtx)
+		<-errc // Serve has returned http.ErrServerClosed
+		return err
+	}
+}
+
+// ListenAndServe listens on addr and calls Serve. It exists so commands can
+// get graceful shutdown in one line.
+func ListenAndServe(ctx context.Context, addr string, handler http.Handler, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return Serve(ctx, ln, handler, drainTimeout)
+}

@@ -10,42 +10,130 @@
 //	GET  /v1/closelinks?t=0.2           — close-link pairs
 //	GET  /v1/accumulated?from=ID&to=ID  — accumulated ownership Φ(from, to)
 //	POST /v1/augment                    — run KG augmentation (family links)
+//	POST /v1/reason                     — evaluate a Vadalog program (budgeted)
 //	GET  /v1/graph                      — the property graph as JSON
 //	GET  /v1/explain?from=ID&to=ID      — derivation tree of a control decision
 //
 // The server holds one graph, injected at construction; mutation happens
-// only through /v1/augment, which is serialized by an internal lock.
+// only through /v1/augment, which returns 503 + Retry-After when a mutation
+// is already in flight instead of queueing.
+//
+// Every request runs under a wall-clock deadline (Config.Timeout) and the
+// chase-backed endpoints under a resource Budget; when a limit trips, the
+// response carries "truncated": true plus the tripped limit, so clients can
+// tell a partial answer from a complete one. A panicking handler is
+// converted into a JSON 500 with a request ID; the process survives.
 package reasonapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"vadalink/internal/closelink"
 	"vadalink/internal/cluster"
 	"vadalink/internal/control"
 	"vadalink/internal/core"
+	"vadalink/internal/datalog"
 	"vadalink/internal/embed"
+	"vadalink/internal/faultinject"
 	"vadalink/internal/graphstats"
 	"vadalink/internal/pg"
+	"vadalink/internal/relstore"
 	"vadalink/internal/vadalog"
 )
 
+// DefaultTimeout is the per-request wall-clock budget when Config.Timeout
+// is zero.
+const DefaultTimeout = 30 * time.Second
+
+// Config tunes the resource governance of the reasoning API.
+type Config struct {
+	// Timeout is the per-request wall-clock deadline. 0 means
+	// DefaultTimeout; a negative value disables the deadline.
+	Timeout time.Duration
+
+	// Budget bounds every chase evaluation a request triggers (derived
+	// facts, delta queue). The zero Budget imposes no fact limits — the
+	// deadline is then the only guard.
+	Budget datalog.Budget
+
+	// MaxRounds caps the engine's semi-naive rounds per evaluation;
+	// 0 keeps the engine default.
+	MaxRounds int
+
+	// RetryAfter is advertised in the Retry-After header of 503 responses.
+	// 0 means 5 seconds.
+	RetryAfter time.Duration
+
+	// MaxBodyBytes caps request bodies on the POST endpoints.
+	// 0 means 1 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout == 0 {
+		return DefaultTimeout
+	}
+	return c.Timeout
+}
+
+func (c Config) retryAfterSeconds() int {
+	ra := c.RetryAfter
+	if ra <= 0 {
+		ra = 5 * time.Second
+	}
+	s := int(ra / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes <= 0 {
+		return 1 << 20
+	}
+	return c.MaxBodyBytes
+}
+
 // Server serves the reasoning API over a company graph.
 type Server struct {
-	mu sync.RWMutex
-	g  *pg.Graph
+	mu  sync.RWMutex
+	g   *pg.Graph
+	cfg Config
+
+	// augMu serializes /v1/augment; TryLock turns contention into 503
+	// instead of an unbounded queue on mu.
+	augMu sync.Mutex
+
+	reqSeq atomic.Uint64
 }
 
-// NewServer wraps a graph.
-func NewServer(g *pg.Graph) *Server {
-	return &Server{g: g}
+// NewServer wraps a graph with the default governance (30s request
+// deadline, unlimited facts).
+func NewServer(g *pg.Graph) *Server { return NewServerWith(g, Config{}) }
+
+// NewServerWith wraps a graph with explicit resource governance.
+func NewServerWith(g *pg.Graph, cfg Config) *Server {
+	return &Server{g: g, cfg: cfg}
 }
 
-// Handler returns the HTTP handler with all routes mounted.
+// engineOptions is the budgeted engine configuration for request-triggered
+// chases.
+func (s *Server) engineOptions() datalog.Options {
+	return datalog.Options{Budget: s.cfg.Budget, MaxRounds: s.cfg.MaxRounds}
+}
+
+// Handler returns the HTTP handler with all routes mounted, wrapped in the
+// governance middleware (request IDs, panic recovery, per-request deadline).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -54,11 +142,85 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/closelinks", s.handleCloseLinks)
 	mux.HandleFunc("GET /v1/accumulated", s.handleAccumulated)
 	mux.HandleFunc("POST /v1/augment", s.handleAugment)
+	mux.HandleFunc("POST /v1/reason", s.handleReason)
 	mux.HandleFunc("GET /v1/graph", s.handleGraph)
 	mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/ubo", s.handleUBO)
 	mux.HandleFunc("GET /v1/neighborhood", s.handleNeighborhood)
-	return mux
+	return s.govern(mux)
+}
+
+// statusWriter tracks whether a response has been started, so the panic
+// recovery knows whether it can still emit a JSON error.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// govern wraps the mux with the resource-governance middleware:
+//
+//   - every request gets an X-Request-ID;
+//   - a panic in a handler becomes a JSON 500 carrying that ID — the
+//     process survives;
+//   - the request context gets the configured wall-clock deadline, which
+//     the chase-backed handlers propagate into the engine.
+func (s *Server) govern(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set("X-Request-ID", id)
+		defer func() {
+			if rec := recover(); rec != nil {
+				log.Printf("reasonapi: %s %s %s: recovered panic: %v", id, r.Method, r.URL.Path, rec)
+				if !sw.wrote {
+					writeJSON(sw, http.StatusInternalServerError, map[string]any{
+						"error":     fmt.Sprintf("internal error: %v", rec),
+						"requestId": id,
+					})
+				}
+			}
+		}()
+		ctx := r.Context()
+		if t := s.cfg.timeout(); t > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, t)
+			defer cancel()
+		}
+		faultinject.Fire(faultinject.SiteAPIHandler)
+		next.ServeHTTP(sw, r.WithContext(ctx))
+	})
+}
+
+// truncMeta classifies an interruption error into the JSON metadata of a
+// partial response: {"truncated": true, "limit": ..., "detail": ...}.
+// It returns nil for nil errors (complete responses).
+func truncMeta(err error) map[string]any {
+	if err == nil {
+		return nil
+	}
+	var be *datalog.BudgetExceededError
+	limit := ""
+	switch {
+	case errors.As(err, &be):
+		limit = string(be.Limit)
+	case errors.Is(err, context.DeadlineExceeded):
+		limit = string(datalog.LimitDeadline)
+	case errors.Is(err, context.Canceled):
+		limit = string(datalog.LimitCancelled)
+	default:
+		limit = "error"
+	}
+	return map[string]any{"truncated": true, "limit": limit, "detail": err.Error()}
 }
 
 // handleUBO lists the ultimate beneficial owners of a company:
@@ -75,12 +237,16 @@ func (s *Server) handleUBO(w http.ResponseWriter, r *http.Request) {
 		ID   pg.NodeID `json:"id"`
 		Name any       `json:"name,omitempty"`
 	}
-	ubos := control.UltimateControllers(s.g, node)
+	ubos, runErr := control.UltimateControllersCtx(r.Context(), s.g, node)
 	out := make([]item, 0, len(ubos))
 	for _, id := range ubos {
 		out = append(out, item{ID: id, Name: s.g.Node(id).Props["name"]})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"node": node, "ultimateControllers": out})
+	resp := map[string]any{"node": node, "ultimateControllers": out}
+	for k, v := range truncMeta(runErr) {
+		resp[k] = v
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleNeighborhood returns the ego network of a node as graph JSON:
@@ -123,18 +289,27 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	reasoner := vadalog.NewReasoner(s.g, vadalog.TaskControl)
+	reasoner.Options = s.engineOptions()
 	reasoner.Options.Provenance = true
-	if err := reasoner.Run(); err != nil {
-		writeErr(w, http.StatusInternalServerError, "reasoning failed: %v", err)
+	runErr := reasoner.RunContext(r.Context())
+	var be *datalog.BudgetExceededError
+	if runErr != nil && !errors.As(runErr, &be) {
+		writeErr(w, http.StatusInternalServerError, "reasoning failed: %v", runErr)
 		return
 	}
+	// On a budget trip the partial derivations remain readable: the tree is
+	// reported if the pair was already derived, marked truncated otherwise.
 	tree := reasoner.ExplainControl(from, to)
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"from":     from,
 		"to":       to,
 		"controls": tree != nil,
 		"why":      tree,
-	})
+	}
+	for k, v := range truncMeta(runErr) {
+		resp[k] = v
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -176,7 +351,7 @@ func (s *Server) handleControl(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	controlled := control.Controls(s.g, node)
+	controlled, runErr := control.ControlsCtx(r.Context(), s.g, node)
 	type item struct {
 		ID   pg.NodeID `json:"id"`
 		Name any       `json:"name,omitempty"`
@@ -185,13 +360,26 @@ func (s *Server) handleControl(w http.ResponseWriter, r *http.Request) {
 	for _, id := range controlled {
 		out = append(out, item{ID: id, Name: s.g.Node(id).Props["name"]})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"node": node, "controls": out})
+	resp := map[string]any{"node": node, "controls": out}
+	for k, v := range truncMeta(runErr) {
+		resp[k] = v
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleControlPairs(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, control.AllPairs(s.g))
+	pairs, runErr := control.AllPairsCtx(r.Context(), s.g)
+	if runErr == nil {
+		writeJSON(w, http.StatusOK, pairs)
+		return
+	}
+	resp := map[string]any{"pairs": pairs}
+	for k, v := range truncMeta(runErr) {
+		resp[k] = v
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCloseLinks(w http.ResponseWriter, r *http.Request) {
@@ -206,7 +394,7 @@ func (s *Server) handleCloseLinks(w http.ResponseWriter, r *http.Request) {
 		}
 		t = v
 	}
-	links := closelink.CloseLinks(s.g, t, closelink.Options{})
+	links, runErr := closelink.CloseLinksCtx(r.Context(), s.g, t, closelink.Options{})
 	type item struct {
 		A      pg.NodeID `json:"a"`
 		B      pg.NodeID `json:"b"`
@@ -221,7 +409,11 @@ func (s *Server) handleCloseLinks(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, item{A: l.Pair.A, B: l.Pair.B, Reason: reason, Via: l.Via})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"threshold": t, "links": out})
+	resp := map[string]any{"threshold": t, "links": out}
+	for k, v := range truncMeta(runErr) {
+		resp[k] = v
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAccumulated(w http.ResponseWriter, r *http.Request) {
@@ -237,8 +429,12 @@ func (s *Server) handleAccumulated(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	phi := closelink.Accumulated(s.g, from, to, closelink.Options{})
-	writeJSON(w, http.StatusOK, map[string]any{"from": from, "to": to, "phi": phi})
+	phi, runErr := closelink.AccumulatedCtx(r.Context(), s.g, from, to, closelink.Options{})
+	resp := map[string]any{"from": from, "to": to, "phi": phi}
+	for k, v := range truncMeta(runErr) {
+		resp[k] = v
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // augmentRequest configures a POST /v1/augment run.
@@ -254,7 +450,8 @@ type augmentRequest struct {
 func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
 	var req augmentRequest
 	if r.Body != nil {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err.Error() != "EOF" {
+		body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
+		if err := json.NewDecoder(body).Decode(&req); err != nil && err.Error() != "EOF" {
 			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 			return
 		}
@@ -290,10 +487,29 @@ func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// One mutation at a time: a second augment gets an immediate 503 with
+	// Retry-After instead of queueing on the write lock forever.
+	if !s.augMu.TryLock() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfterSeconds()))
+		writeErr(w, http.StatusServiceUnavailable, "augmentation already in progress; retry later")
+		return
+	}
+	defer s.augMu.Unlock()
 	s.mu.Lock()
-	res, err := aug.Run(s.g)
+	res, err := aug.RunContext(r.Context(), s.g)
 	s.mu.Unlock()
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// Completed rounds persist (augmentation is monotone); a retry
+			// resumes from where this run stopped.
+			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfterSeconds()))
+			resp := map[string]any{"error": fmt.Sprintf("augmentation interrupted: %v", err)}
+			for k, v := range truncMeta(err) {
+				resp[k] = v
+			}
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, "augmentation failed: %v", err)
 		return
 	}
@@ -303,6 +519,123 @@ func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
 		"comparisons": res.Comparisons,
 		"blocks":      res.Blocks,
 	})
+}
+
+// reasonRequest configures a POST /v1/reason evaluation: a Vadalog program
+// evaluated over the company graph's relational facts, under the server's
+// budget plus any tighter per-request limits.
+type reasonRequest struct {
+	// Program is the rule text (Vadalog subset syntax; see internal/datalog).
+	Program string `json:"program"`
+	// Predicates selects which derived predicates to return. Empty means
+	// every head predicate of the program.
+	Predicates []string `json:"predicates"`
+	// MaxFacts tightens the server's fact budget for this request only
+	// (it can lower the cap, never raise it).
+	MaxFacts int `json:"maxFacts"`
+	// MaxFactsPerPredicate caps the facts returned per predicate in the
+	// response. 0 means 10000.
+	MaxFactsPerPredicate int `json:"maxFactsPerPredicate"`
+}
+
+// handleReason evaluates an ad-hoc program. A non-terminating program does
+// not hang the server: the chase stops at the request deadline (or fact
+// budget) and the response reports the partial derivation with
+// "truncated": true and the tripped limit.
+func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
+	var req reasonRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Program == "" {
+		writeErr(w, http.StatusBadRequest, "missing program")
+		return
+	}
+	prog, err := datalog.Parse(req.Program)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parsing program: %v", err)
+		return
+	}
+	opts := s.engineOptions()
+	if req.MaxFacts > 0 && (opts.Budget.MaxFacts == 0 || req.MaxFacts < opts.Budget.MaxFacts) {
+		opts.Budget.MaxFacts = req.MaxFacts
+	}
+	engine, err := datalog.NewEngine(prog, opts)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "preparing engine: %v", err)
+		return
+	}
+
+	// Extract the graph's relational image under the read lock, then run
+	// the chase without holding it.
+	s.mu.RLock()
+	facts := relstore.CompanyGraphFacts(s.g)
+	s.mu.RUnlock()
+	engine.AssertAll(facts)
+
+	runErr := engine.RunContext(r.Context())
+	var be *datalog.BudgetExceededError
+	if runErr != nil && !errors.As(runErr, &be) &&
+		!errors.Is(runErr, context.DeadlineExceeded) && !errors.Is(runErr, context.Canceled) {
+		// A genuine evaluation error (bad builtin, type error), not a
+		// budget trip.
+		writeErr(w, http.StatusUnprocessableEntity, "evaluating program: %v", runErr)
+		return
+	}
+
+	preds := req.Predicates
+	if len(preds) == 0 {
+		seen := map[string]bool{}
+		for _, rule := range prog.Rules {
+			for _, h := range rule.Head {
+				if !seen[h.Pred] {
+					seen[h.Pred] = true
+					preds = append(preds, h.Pred)
+				}
+			}
+		}
+	}
+	perPred := req.MaxFactsPerPredicate
+	if perPred <= 0 {
+		perPred = 10000
+	}
+	factsOut := make(map[string][][]any, len(preds))
+	for _, p := range preds {
+		fs := engine.FactsN(p, perPred)
+		rows := make([][]any, 0, len(fs))
+		for _, f := range fs {
+			row := make([]any, len(f.Args))
+			for i, a := range f.Args {
+				row[i] = jsonValue(a)
+			}
+			rows = append(rows, row)
+		}
+		factsOut[p] = rows
+	}
+	resp := map[string]any{
+		"facts":   factsOut,
+		"rounds":  engine.Rounds(),
+		"derived": engine.DerivedCount(),
+	}
+	for k, v := range truncMeta(runErr) {
+		resp[k] = v
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// jsonValue converts a datalog term value into a JSON-encodable value;
+// labeled nulls and Skolem terms render as their canonical strings.
+func jsonValue(v any) any {
+	switch x := v.(type) {
+	case string, float64, bool, int64, int:
+		return x
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprintf("%v", x)
+	}
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {

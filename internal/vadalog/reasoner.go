@@ -1,6 +1,7 @@
 package vadalog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -70,7 +71,14 @@ func (r *Reasoner) program() string {
 
 // Run loads the graph's relational representation, evaluates the selected
 // programs and leaves the derived facts available through the accessors.
-func (r *Reasoner) Run() error {
+func (r *Reasoner) Run() error { return r.RunContext(context.Background()) }
+
+// RunContext is Run under a context: the chase honors the context's
+// deadline/cancellation and Options.Budget. When a limit trips it returns
+// the engine's *BudgetExceededError (wrapped); the facts derived before the
+// trip remain readable through the accessors, so callers can serve partial
+// results marked as truncated.
+func (r *Reasoner) RunContext(ctx context.Context) error {
 	src := r.program()
 	if src == "" {
 		return fmt.Errorf("vadalog: no tasks selected")
@@ -110,10 +118,12 @@ func (r *Reasoner) Run() error {
 			engine.Assert(datalog.Fact{Pred: "fammember", Args: []any{int64(m), famID}})
 		}
 	}
-	if err := engine.Run(); err != nil {
+	// Expose the engine before evaluating: a budget-stopped run leaves its
+	// partial derivations readable through the accessors.
+	r.engine = engine
+	if err := engine.RunContext(ctx); err != nil {
 		return fmt.Errorf("vadalog: evaluating programs: %w", err)
 	}
-	r.engine = engine
 	return nil
 }
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# check.sh — the full verification gate: vet, build, race-enabled tests,
+# and a short run of every fuzz target. CI runs exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fuzz targets (${FUZZTIME} each) =="
+# Discover every Fuzz* target and give each a short budget; a regression in
+# input hardening shows up here before it ships.
+for pkg in $(go list ./...); do
+    for target in $(go test -list 'Fuzz.*' "$pkg" 2>/dev/null | grep '^Fuzz' || true); do
+        echo "-- $pkg $target"
+        go test -run=NONE -fuzz="^${target}\$" -fuzztime="$FUZZTIME" "$pkg"
+    done
+done
+
+echo "== all checks passed =="

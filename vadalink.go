@@ -30,6 +30,7 @@
 package vadalink
 
 import (
+	"context"
 	"io"
 	"net/http"
 
@@ -318,5 +319,41 @@ func WrapTemporal(g *Graph) *TemporalGraph { return temporal.Wrap(g) }
 
 // --- reasoning API (§5 architecture) ---
 
-// APIHandler returns the HTTP handler of the reasoning API over g.
+// APIHandler returns the HTTP handler of the reasoning API over g, with the
+// default governance (30s request deadline, unbounded chase).
 func APIHandler(g *Graph) http.Handler { return reasonapi.NewServer(g).Handler() }
+
+// APIConfig tunes the reasoning API's resource governance: per-request
+// timeout, chase budget, Retry-After advice.
+type APIConfig = reasonapi.Config
+
+// APIHandlerWith is APIHandler with explicit resource governance.
+func APIHandlerWith(g *Graph, cfg APIConfig) http.Handler {
+	return reasonapi.NewServerWith(g, cfg).Handler()
+}
+
+// ServeAPI serves handler on addr until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight requests drain. Wire ctx to
+// signal.NotifyContext for clean SIGINT/SIGTERM handling.
+func ServeAPI(ctx context.Context, addr string, handler http.Handler) error {
+	return reasonapi.ListenAndServe(ctx, addr, handler, 0)
+}
+
+// --- resource governance (budgets and typed limit errors) ---
+
+// Budget bounds a chase evaluation: derived facts, delta-queue size, and
+// how often the engine polls its context for cancellation.
+type Budget = datalog.Budget
+
+// BudgetExceededError is the typed error a budget-stopped evaluation
+// returns; it names the tripped limit and the partial progress.
+type BudgetExceededError = datalog.BudgetExceededError
+
+// NewEngineWith prepares a rule program with explicit engine options
+// (budget, round cap, provenance).
+func NewEngineWith(p *datalog.Program, opts datalog.Options) (*datalog.Engine, error) {
+	return datalog.NewEngine(p, opts)
+}
+
+// EngineOptions tunes the embedded Datalog± engine.
+type EngineOptions = datalog.Options
