@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet fuzz check bench
+.PHONY: build test race vet fuzz check bench bench-json cover
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,11 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regression benchmarks over the graphgen size ladder, emitting BENCH_<n>.json.
+bench-json:
+	./scripts/bench.sh
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/datalog
+	$(GO) tool cover -func=cover.out | tail -1

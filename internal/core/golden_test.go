@@ -1,0 +1,83 @@
+package core
+
+// Golden-output test for the family-augmentation loop (Algorithm 1) on the
+// same small fixed-seed graphgen graph the reasoner golden tests use: the
+// set of predicted family edges is pinned in testdata/golden/augment.golden
+// (regenerate with -update). Complements the declarative golden files in
+// internal/vadalog — together they freeze all three of the paper's program
+// outputs plus the imperative augmentation path.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"vadalink/internal/cluster"
+	"vadalink/internal/graphgen"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+func augmentLines(t *testing.T) []string {
+	t.Helper()
+	it := graphgen.NewItalian(graphgen.ItalianConfig{Persons: 30, Companies: 60, Seed: 11})
+	a, err := New(Config{
+		Blocker:    cluster.PersonBlocker{},
+		Candidates: []Candidate{&FamilyCandidate{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run(it.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, e := range res.AddedEdges {
+		lines = append(lines, fmt.Sprintf("%s %d -> %d", e.Label, e.From, e.To))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestGoldenAugment(t *testing.T) {
+	got := augmentLines(t)
+	if len(got) == 0 {
+		t.Fatal("augmentation predicted no edges on the golden graph — pick a seed that does")
+	}
+	path := filepath.Join("testdata", "golden", "augment.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	want := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("%d predicted edges, golden has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("line %d:\n got: %s\nwant: %s", i+1, got[i], want[i])
+		}
+	}
+
+	// The loop must also be deterministic run-to-run, or the golden file
+	// would flake: re-run and compare.
+	again := augmentLines(t)
+	for i := range got {
+		if again[i] != got[i] {
+			t.Fatalf("augmentation is nondeterministic at line %d: %s vs %s", i+1, got[i], again[i])
+		}
+	}
+}

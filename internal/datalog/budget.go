@@ -25,6 +25,14 @@ type Budget struct {
 	// between cooperative cancellation checks. Smaller values tighten
 	// deadline latency at a small CPU cost. 0 means the default of 2048.
 	CheckEvery int
+
+	// MaxIndexBytes caps the estimated memory held by the per-predicate
+	// positional hash indexes the engine builds for join matching (DESIGN.md
+	// §7.1). The estimate counts encoded-key bytes plus per-entry overhead;
+	// it is approximate but monotone. Index memory is cumulative engine
+	// state, so the cap applies across re-runs of one engine. 0 means
+	// unlimited.
+	MaxIndexBytes int
 }
 
 func (b Budget) checkEvery() int {
@@ -49,6 +57,9 @@ const (
 	LimitDeltaQueue Limit = "max-delta-queue"
 	// LimitRounds: Options.MaxRounds semi-naive rounds were exceeded.
 	LimitRounds Limit = "max-rounds"
+	// LimitIndexMemory: Budget.MaxIndexBytes of positional-index memory were
+	// exceeded.
+	LimitIndexMemory Limit = "max-index-bytes"
 )
 
 // BudgetExceededError reports that a Run stopped before fixpoint because a
@@ -89,6 +100,8 @@ func (e *BudgetExceededError) Error() string {
 		return fmt.Sprintf("%s: Budget.MaxFacts=%d; raise the budget or restrict the program/input", head, e.Bound)
 	case LimitDeltaQueue:
 		return fmt.Sprintf("%s: Budget.MaxDeltaQueue=%d; raise the budget or restrict the program/input", head, e.Bound)
+	case LimitIndexMemory:
+		return fmt.Sprintf("%s: Budget.MaxIndexBytes=%d; raise the budget, shrink the input, or disable indexing (Options.NoIndex)", head, e.Bound)
 	case LimitDeadline:
 		return head + ": the deadline expired mid-chase; raise the timeout or tighten MaxFacts to fail faster"
 	case LimitCancelled:
@@ -102,8 +115,11 @@ func (e *BudgetExceededError) Error() string {
 func (e *BudgetExceededError) Unwrap() error { return e.Cause }
 
 // trip records a budget violation on the engine; the evaluation unwinds at
-// the next cooperative check.
+// the next cooperative check. It is safe to call from chase workers: the
+// first trip wins, later ones return the recorded error.
 func (e *Engine) trip(limit Limit, bound int, cause error) *BudgetExceededError {
+	e.stopMu.Lock()
+	defer e.stopMu.Unlock()
 	if e.stopErr == nil {
 		e.stopErr = &BudgetExceededError{
 			Limit:   limit,
@@ -113,8 +129,27 @@ func (e *Engine) trip(limit Limit, bound int, cause error) *BudgetExceededError 
 			Stratum: e.curStratum,
 			Cause:   cause,
 		}
+		e.stopped.Store(true)
 	}
 	return e.stopErr
+}
+
+// stopError returns the recorded budget violation, if any.
+func (e *Engine) stopError() *BudgetExceededError {
+	if !e.stopped.Load() {
+		return nil
+	}
+	e.stopMu.Lock()
+	defer e.stopMu.Unlock()
+	return e.stopErr
+}
+
+// resetStop clears the sticky budget violation at the start of a Run.
+func (e *Engine) resetStop() {
+	e.stopMu.Lock()
+	defer e.stopMu.Unlock()
+	e.stopErr = nil
+	e.stopped.Store(false)
 }
 
 // checkCtx classifies and records a context failure.
@@ -131,14 +166,16 @@ func (e *Engine) checkCtx() error {
 
 // step is the cooperative cancellation point of the inner evaluation loops:
 // it returns a pending budget error immediately and polls the context every
-// Budget.CheckEvery steps.
-func (e *Engine) step() error {
-	if e.stopErr != nil {
-		return e.stopErr
+// Budget.CheckEvery steps. Each chase worker counts steps on its own evalCtx,
+// so one enormous join round honors deadlines no matter which worker runs it.
+func (ec *evalCtx) step() error {
+	e := ec.e
+	if e.stopped.Load() {
+		return e.stopError()
 	}
-	e.steps++
-	if e.steps >= e.nextCheck {
-		e.nextCheck = e.steps + e.opts.Budget.checkEvery()
+	ec.steps++
+	if ec.steps >= ec.nextCheck {
+		ec.nextCheck = ec.steps + e.opts.Budget.checkEvery()
 		return e.checkCtx()
 	}
 	return nil

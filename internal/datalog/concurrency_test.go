@@ -1,0 +1,219 @@
+package datalog
+
+// Concurrency coverage for the parallel chase and the lazily built indexes,
+// written to run under -race: concurrent read-only access after a Run,
+// worker-pool evaluation, mid-chase cancellation landed at the delta-merge
+// point through the faultinject harness, and worker panic propagation.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vadalink/internal/faultinject"
+)
+
+// closureProgram is aggregate-free, so every rule is parallel-safe and the
+// chase actually exercises the worker pool.
+const closureProgram = `
+own(X, Y, _) -> reach(X, Y).
+reach(X, Y), own(Y, Z, _), X != Z -> reach(X, Z).
+own(X, Y, W), not reach(Y, X) -> oneway(X, Y).
+`
+
+func closureEngine(t *testing.T, opts Options) *Engine {
+	t.Helper()
+	e, err := NewEngine(MustParse(closureProgram), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AssertAll(randomEDB(rand.New(rand.NewSource(42))))
+	return e
+}
+
+// TestParallelChaseWorkers runs the worker-pool path (Parallel well above
+// GOMAXPROCS) and cross-checks the result against the sequential path.
+func TestParallelChaseWorkers(t *testing.T) {
+	seq := closureEngine(t, Options{Parallel: 1})
+	if err := seq.Run(); err != nil {
+		t.Fatal(err)
+	}
+	par := closureEngine(t, Options{Parallel: 8})
+	if err := par.Run(); err != nil {
+		t.Fatal(err)
+	}
+	preds := []string{"reach", "oneway"}
+	if d := diffFactSets(engineFactSet(seq, preds), engineFactSet(par, preds)); d != "missing=[] extra=[]" {
+		t.Fatalf("parallel chase diverges from sequential: %s", d)
+	}
+}
+
+// TestConcurrentReadsAfterRun hammers the read-only accessors — including
+// Match patterns that trigger lazy index builds — from many goroutines at
+// once. Under -race this verifies the double-checked index publication.
+func TestConcurrentReadsAfterRun(t *testing.T) {
+	e := closureEngine(t, Options{Parallel: 4})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	reach := e.Facts("reach")
+	if len(reach) == 0 {
+		t.Fatal("no reach facts derived")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				f := reach[(g*13+i)%len(reach)]
+				// Probe both argument positions: each may build its index
+				// lazily, racing with the other goroutines.
+				if got := e.Match("reach", f.Args[0], nil); len(got) == 0 {
+					t.Errorf("Match(reach, %v, _) empty", f.Args[0])
+					return
+				}
+				if got := e.Match("reach", nil, f.Args[1]); len(got) == 0 {
+					t.Errorf("Match(reach, _, %v) empty", f.Args[1])
+					return
+				}
+				if !e.Has(f) {
+					t.Errorf("Has(%v) = false", f)
+					return
+				}
+				bs := e.Query(
+					Atom{Pred: "reach", Terms: []Term{Variable("X"), Variable("Y")}},
+					Atom{Pred: "own", Terms: []Term{Variable("Y"), Variable("Z"), Variable("W")}},
+				)
+				if len(bs) == 0 {
+					t.Error("two-atom Query returned nothing")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentEngineRuns runs several independent engines at once — the
+// faultinject registry and the runtime are the only shared state.
+func TestConcurrentEngineRuns(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			e, err := NewEngine(MustParse(closureProgram), Options{Parallel: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			e.AssertAll(randomEDB(rand.New(rand.NewSource(int64(100 + g)))))
+			if err := e.Run(); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCancelAtMergePoint lands a cancellation exactly at the delta-merge
+// site of the parallel chase and verifies the run stops with a cancellation
+// trip, the partial state stays readable, and the engine recovers on re-run.
+func TestCancelAtMergePoint(t *testing.T) {
+	e := closureEngine(t, Options{Parallel: 4, Budget: Budget{CheckEvery: 1}})
+	ctx, cancel := context.WithCancel(context.Background())
+	var merges atomic.Int64
+	faultinject.Set(faultinject.SiteDatalogMerge, func() {
+		if merges.Add(1) == 1 {
+			cancel()
+		}
+	})
+	t.Cleanup(faultinject.Reset)
+
+	err := e.RunContext(ctx)
+	if merges.Load() == 0 {
+		t.Skip("chase finished before any parallel merge (GOMAXPROCS=1 single-job rounds)")
+	}
+	var be *BudgetExceededError
+	if !errors.As(err, &be) || be.Limit != LimitCancelled {
+		t.Fatalf("want cancellation trip, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("trip does not unwrap to context.Canceled: %v", err)
+	}
+
+	// Partial state must be readable, and a fresh run must complete.
+	_ = e.Facts("reach")
+	faultinject.Reset()
+	if err := e.RunContext(context.Background()); err != nil {
+		t.Fatalf("re-run after cancellation: %v", err)
+	}
+	want := closureEngine(t, Options{Parallel: 1})
+	if err := want.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := diffFactSets(engineFactSet(want, []string{"reach", "oneway"}), engineFactSet(e, []string{"reach", "oneway"})); d != "missing=[] extra=[]" {
+		t.Fatalf("post-recovery fact set diverges: %s", d)
+	}
+}
+
+// TestDeadlineMidChase cancels by deadline while rounds are stretched at the
+// round boundary, under the parallel configuration.
+func TestDeadlineMidChase(t *testing.T) {
+	e := closureEngine(t, Options{Parallel: 4, Budget: Budget{CheckEvery: 1}})
+	faultinject.Set(faultinject.SiteDatalogRound, func() { time.Sleep(20 * time.Millisecond) })
+	t.Cleanup(faultinject.Reset)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := e.RunContext(ctx)
+	var be *BudgetExceededError
+	if !errors.As(err, &be) || be.Limit != LimitDeadline {
+		t.Fatalf("want deadline trip, got %v", err)
+	}
+}
+
+// TestWorkerPanicPropagates asserts the parallel path preserves the
+// sequential contract: a panic inside a builtin reaches the Run caller.
+func TestWorkerPanicPropagates(t *testing.T) {
+	prog := MustParse(`own(X, Y, W), V = #boom(W) -> p(X, V).`)
+	e, err := NewEngine(prog, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RegisterBuiltin("boom", func(args []any) (any, error) { panic("builtin exploded") })
+	e.AssertAll(randomEDB(rand.New(rand.NewSource(5))))
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate from chase worker")
+		}
+	}()
+	_ = e.Run()
+}
+
+// TestIndexMemoryBudget trips LimitIndexMemory on a tiny index budget and
+// verifies the error names the limit and remediation works (NoIndex mode).
+func TestIndexMemoryBudget(t *testing.T) {
+	e := closureEngine(t, Options{Budget: Budget{MaxIndexBytes: 64}})
+	err := e.Run()
+	var be *BudgetExceededError
+	if !errors.As(err, &be) || be.Limit != LimitIndexMemory {
+		t.Fatalf("want index-memory trip, got %v", err)
+	}
+	if e.IndexBytes() <= 64 {
+		t.Fatalf("IndexBytes() = %d, want > budget", e.IndexBytes())
+	}
+
+	// Scan mode never builds indexes, so the same budget passes.
+	noidx := closureEngine(t, Options{NoIndex: true, Budget: Budget{MaxIndexBytes: 64}})
+	if err := noidx.Run(); err != nil {
+		t.Fatalf("NoIndex run tripped: %v", err)
+	}
+	if noidx.IndexBytes() != 0 {
+		t.Fatalf("NoIndex engine accrued %d index bytes", noidx.IndexBytes())
+	}
+}

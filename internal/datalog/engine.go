@@ -3,13 +3,19 @@ package datalog
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"vadalink/internal/faultinject"
 )
 
 // Builtin is a host function callable from rule bodies as #name(args...).
+// When the engine runs with Options.Parallel > 1, builtins may be called from
+// several chase workers at once and must be safe for concurrent use (the
+// shipped #linkprob and Skolem builtins are).
 type Builtin func(args []any) (any, error)
 
 // Options configure engine evaluation.
@@ -28,8 +34,9 @@ type Options struct {
 	MaxRounds int
 
 	// Budget bounds the resources of one Run (derived facts, pending delta,
-	// cancellation-check cadence); the wall-clock deadline comes from the
-	// context passed to RunContext. The zero Budget imposes no limits.
+	// index memory, cancellation-check cadence); the wall-clock deadline
+	// comes from the context passed to RunContext. The zero Budget imposes
+	// no limits.
 	Budget Budget
 
 	// TraceFn, when set, receives one line per derived fact (debugging aid).
@@ -45,6 +52,21 @@ type Options struct {
 	// explainability claim ("Vada-Link decisions are explainable and
 	// unambiguous"). Costs memory proportional to the derived facts.
 	Provenance bool
+
+	// Parallel is the number of workers evaluating the independent rule
+	// instantiations of one chase round. 0 means GOMAXPROCS; 1 forces the
+	// sequential path. With more than one worker, each round's rules run
+	// against the store frozen at round start and emit into per-job buffers
+	// that merge in deterministic job order, so the result is identical for
+	// any worker count (see DESIGN.md §7.2). Aggregate rules always evaluate
+	// on the merging goroutine because monotonic-aggregation state is shared.
+	Parallel int
+
+	// NoIndex disables the per-predicate positional hash indexes: lookup and
+	// Match fall back to scanning every fact of the relation. This is the
+	// pre-index baseline, kept for the BenchmarkChase ablation and the
+	// differential test harness.
+	NoIndex bool
 }
 
 // Derivation explains one derived fact: the rule that fired and the premises
@@ -56,6 +78,12 @@ type Derivation struct {
 
 // Engine evaluates a Program over a growing fact store using a semi-naive
 // bottom-up chase, stratified on negation.
+//
+// Concurrency contract: an Engine must not be mutated concurrently — Assert
+// and Run/RunContext need exclusive access. After a Run completes, the
+// read-only accessors (Facts, Match, Query, Has, Explain, ...) are safe to
+// call from many goroutines at once; lazy index builds they may trigger are
+// internally synchronized.
 type Engine struct {
 	prog     *Program
 	opts     Options
@@ -65,63 +93,164 @@ type Engine struct {
 	strata   [][]int // rule indices per stratum, in evaluation order
 	ruleMeta []ruleMeta
 
-	aggState map[string]*aggGroup // keyed by ruleIdx|groupKey
+	aggState map[string]*aggGroup // keyed by head predicate + group values
 
 	rounds int // total semi-naive rounds of the last Run
 
 	// per-Run budget state: the run's context, the first budget violation
-	// (sticky until the evaluation unwinds), the derived-fact count, and
-	// the cooperative-check step counter.
+	// (sticky until the evaluation unwinds; guarded by stopMu with the
+	// stopped flag as the fast-path check), and the derived-fact count.
 	ctx          context.Context
+	stopMu       sync.Mutex
+	stopped      atomic.Bool
 	stopErr      *BudgetExceededError
 	derivedCount int
-	steps        int
-	nextCheck    int
 	curStratum   int
 
-	// provenance state (Options.Provenance): first derivation per fact key,
-	// plus the premise stack of the evaluation in flight and the prior
-	// contributions of the active aggregate group.
-	prov        map[string]Derivation
-	curPremises []Fact
+	// indexBytes is the estimated memory of all positional indexes, accrued
+	// atomically because chase workers may build indexes lazily while
+	// evaluating in parallel. Checked against Budget.MaxIndexBytes.
+	indexBytes atomic.Int64
+
+	// bufferedFacts counts facts pending in this round's job buffers, an
+	// early MaxFacts backstop for workers whose emissions have not merged yet.
+	bufferedFacts atomic.Int64
+
+	// prov holds the first derivation per fact key (Options.Provenance).
+	prov map[string]Derivation
+}
+
+// evalCtx is the per-goroutine evaluation state of one chase worker: the
+// cooperative-cancellation step counter plus the provenance premise stack of
+// the rule instantiation in flight. The engine's shared state stays read-only
+// while workers hold evalCtxs; everything mutable lives here or in the
+// per-job emission buffers.
+type evalCtx struct {
+	e         *Engine
+	steps     int
+	nextCheck int
+
+	// provenance state: the rule being evaluated, the premise stack of the
+	// evaluation in flight, and the prior contributions of the active
+	// aggregate group.
 	curRule     string
+	curPremises []Fact
 	aggExtra    []Fact
 }
 
+func (e *Engine) newEvalCtx() *evalCtx {
+	return &evalCtx{e: e, nextCheck: e.opts.Budget.checkEvery()}
+}
+
+// emitFn receives a head instantiation together with the evalCtx that
+// produced it (for premise capture). Sequential evaluation inserts directly;
+// parallel evaluation buffers.
+type emitFn func(Fact, *evalCtx)
+
+// Approximate per-entry costs of the positional indexes, used for the
+// MaxIndexBytes budget: a new distinct key costs its encoded bytes plus map
+// overhead, every fact reference costs one slot in a bucket.
+const (
+	indexKeyOverhead    = 48
+	indexBucketSlotCost = 8
+)
+
 // relation stores the facts of one predicate with a key set for set
-// semantics and per-position hash indexes for joins.
+// semantics and lazily built per-position hash indexes for joins: argument
+// position → encoded value → fact indices. An index position is built the
+// first time a lookup probes it (double-checked under mu, published through
+// the built mask) and maintained incrementally by insert from then on, so
+// semi-naive delta inserts stay O(#built positions).
 type relation struct {
 	facts []Fact
 	keys  map[string]bool
 	index []map[string][]int // position → encoded value → fact indices
+
+	// built has bit p set once index[p] is built; readers check it with an
+	// atomic load before touching index[p], writers publish under mu. Only
+	// the first 64 argument positions are indexable.
+	built atomic.Uint64
+	mu    sync.Mutex
 }
 
 func newRelation() *relation {
 	return &relation{keys: make(map[string]bool)}
 }
 
-func (r *relation) insert(f Fact) bool {
+func (r *relation) hasIndex(pos int) bool {
+	return pos < 64 && r.built.Load()&(1<<uint(pos)) != 0
+}
+
+// insert adds a fact, maintaining every built index. It reports whether the
+// fact is new and the estimated index bytes the insertion added. Insert
+// requires exclusive access (engine mutation contract).
+func (r *relation) insert(f Fact) (bool, int) {
 	k := f.Key()
 	if r.keys[k] {
-		return false
+		return false, 0
 	}
 	r.keys[k] = true
 	idx := len(r.facts)
 	r.facts = append(r.facts, f)
-	if r.index == nil && len(r.facts) == 1 {
+	if r.index == nil {
 		r.index = make([]map[string][]int, len(f.Args))
 	}
-	for pos := range f.Args {
-		if pos >= len(r.index) {
-			break
+	bytes := 0
+	if mask := r.built.Load(); mask != 0 {
+		for pos := range f.Args {
+			if pos >= len(r.index) || pos >= 64 || mask&(1<<uint(pos)) == 0 {
+				continue
+			}
+			ev := encodeValue(f.Args[pos])
+			m := r.index[pos]
+			b, ok := m[ev]
+			if !ok {
+				bytes += len(ev) + indexKeyOverhead
+			}
+			m[ev] = append(b, idx)
+			bytes += indexBucketSlotCost
 		}
-		if r.index[pos] == nil {
-			r.index[pos] = make(map[string][]int)
+	}
+	return true, bytes
+}
+
+// ensureIndex builds the positional index for pos if missing, returning the
+// estimated bytes it added. Safe for concurrent callers: the build is
+// double-checked under mu and published through the built mask, so parallel
+// chase workers and concurrent Match/Query calls race only on the mutex.
+func (r *relation) ensureIndex(pos int) int {
+	if pos < 0 || pos >= len(r.index) || pos >= 64 {
+		return 0
+	}
+	if r.hasIndex(pos) {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.built.Load()&(1<<uint(pos)) != 0 {
+		return 0
+	}
+	bytes := 0
+	m := make(map[string][]int, len(r.facts))
+	for i, f := range r.facts {
+		if pos >= len(f.Args) {
+			continue
 		}
 		ev := encodeValue(f.Args[pos])
-		r.index[pos][ev] = append(r.index[pos][ev], idx)
+		b, ok := m[ev]
+		if !ok {
+			bytes += len(ev) + indexKeyOverhead
+		}
+		m[ev] = append(b, i)
+		bytes += indexBucketSlotCost
 	}
-	return true
+	r.index[pos] = m
+	r.built.Store(r.built.Load() | 1<<uint(pos))
+	return bytes
+}
+
+func (r *relation) bucket(pos int, key string) []int {
+	return r.index[pos][key]
 }
 
 // ruleMeta is the per-rule evaluation plan computed at engine construction.
@@ -132,7 +261,13 @@ type ruleMeta struct {
 	aggIdx    int               // index (into order) of the aggregate literal, -1 if none
 	aggHead   int               // head atom defining the aggregation group
 	aggSkip   map[int]bool      // positions of aggHead holding the aggregate target
+	label     string            // cached "label: rule text" for provenance
 }
+
+// parallelSafe reports whether the rule may evaluate on a chase worker.
+// Aggregate rules mutate the shared monotonic-aggregation state, so they
+// always run on the merging goroutine in deterministic order.
+func (m ruleMeta) parallelSafe() bool { return m.aggIdx < 0 }
 
 // aggGroup is the monotonic aggregation state of one (rule, group) pair.
 type aggGroup struct {
@@ -175,6 +310,7 @@ func NewEngine(prog *Program, opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("datalog: rule %d (%s): %w", i, r.Label, err)
 		}
+		meta.label = r.Label + ": " + r.String()
 		e.ruleMeta = append(e.ruleMeta, meta)
 	}
 	strata, err := stratify(prog)
@@ -194,7 +330,11 @@ func (e *Engine) RegisterBuiltin(name string, fn Builtin) {
 
 // Assert adds an extensional fact. It reports whether the fact is new.
 func (e *Engine) Assert(f Fact) bool {
-	return e.rel(f.Pred).insert(f)
+	ok, bytes := e.rel(f.Pred).insert(f)
+	if bytes > 0 {
+		e.indexBytes.Add(int64(bytes))
+	}
+	return ok
 }
 
 // AssertAll adds many extensional facts.
@@ -204,6 +344,8 @@ func (e *Engine) AssertAll(fs []Fact) {
 	}
 }
 
+// rel returns the relation of pred, creating it if missing. Mutating path
+// only — read paths use the map directly so they never grow it.
 func (e *Engine) rel(pred string) *relation {
 	r, ok := e.rels[pred]
 	if !ok {
@@ -212,6 +354,21 @@ func (e *Engine) rel(pred string) *relation {
 	}
 	return r
 }
+
+// addIndexBytes accrues lazily built index memory and trips the budget when
+// the estimate crosses Budget.MaxIndexBytes.
+func (e *Engine) addIndexBytes(bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	total := e.indexBytes.Add(int64(bytes))
+	if b := e.opts.Budget; b.MaxIndexBytes > 0 && total > int64(b.MaxIndexBytes) {
+		e.trip(LimitIndexMemory, b.MaxIndexBytes, nil)
+	}
+}
+
+// IndexBytes reports the estimated memory held by the positional indexes.
+func (e *Engine) IndexBytes() int64 { return e.indexBytes.Load() }
 
 // Facts returns a copy of all facts of a predicate, sorted canonically.
 func (e *Engine) Facts(pred string) []Fact {
@@ -256,31 +413,84 @@ func (e *Engine) Has(f Fact) bool {
 	return ok && r.keys[f.Key()]
 }
 
+// matchPattern reports whether a fact matches a wildcard pattern (nil means
+// any value at that position).
+func matchPattern(f Fact, pattern []any) bool {
+	if len(f.Args) != len(pattern) {
+		return false
+	}
+	for i, p := range pattern {
+		if p != nil && !valueEqual(f.Args[i], p) {
+			return false
+		}
+	}
+	return true
+}
+
 // Match returns the facts of pred whose arguments equal the non-nil entries
-// of pattern (nil is a wildcard).
+// of pattern (nil is a wildcard). When a pattern position is bound, the
+// probe goes through the positional hash index (built on first use) instead
+// of scanning the relation; the remaining positions verify per candidate.
 func (e *Engine) Match(pred string, pattern ...any) []Fact {
 	r, ok := e.rels[pred]
 	if !ok {
 		return nil
 	}
 	var out []Fact
-	for _, f := range r.facts {
-		if len(f.Args) != len(pattern) {
-			continue
-		}
-		ok := true
-		for i, p := range pattern {
-			if p != nil && encodeValue(f.Args[i]) != encodeValue(p) {
-				ok = false
-				break
+	if pos, key, indexed := e.chooseIndex(r, pattern); indexed {
+		for _, i := range r.bucket(pos, key) {
+			if f := r.facts[i]; matchPattern(f, pattern) {
+				out = append(out, f)
 			}
 		}
-		if ok {
-			out = append(out, f)
+	} else {
+		for _, f := range r.facts {
+			if matchPattern(f, pattern) {
+				out = append(out, f)
+			}
 		}
 	}
 	SortFacts(out)
 	return out
+}
+
+// chooseIndex selects the index position to probe for a pattern of bound
+// values (nil entries unbound): the smallest bucket among built indexes, or
+// a fresh index on the first bound position when none is built yet. It
+// reports (position, encoded key, ok).
+func (e *Engine) chooseIndex(r *relation, pattern []any) (int, string, bool) {
+	if e.opts.NoIndex {
+		return 0, "", false
+	}
+	bestPos, bestLen := -1, -1
+	var bestKey string
+	firstBound := -1
+	var firstKey string
+	for i, p := range pattern {
+		if p == nil || i >= len(r.index) || i >= 64 {
+			continue
+		}
+		k := encodeValue(p)
+		if firstBound == -1 {
+			firstBound, firstKey = i, k
+		}
+		if r.hasIndex(i) {
+			n := len(r.bucket(i, k))
+			if bestPos == -1 || n < bestLen {
+				bestPos, bestLen, bestKey = i, n, k
+			}
+		}
+	}
+	if bestPos >= 0 {
+		return bestPos, bestKey, true
+	}
+	if firstBound >= 0 {
+		e.addIndexBytes(r.ensureIndex(firstBound))
+		if r.hasIndex(firstBound) {
+			return firstBound, firstKey, true
+		}
+	}
+	return 0, "", false
 }
 
 // Binding is one answer to a Query: variable name → ground value.
@@ -292,7 +502,9 @@ type Binding map[Variable]any
 //
 //	control(X, Y), closelink(Y, Z)
 //
-// expressed as []Atom. Duplicate bindings are deduplicated.
+// expressed as []Atom. Each goal atom resolves through the positional
+// indexes once its variables are bound by earlier atoms. Duplicate bindings
+// are deduplicated.
 func (e *Engine) Query(goal ...Atom) []Binding {
 	var out []Binding
 	seen := map[string]bool{}
@@ -311,7 +523,7 @@ func (e *Engine) Query(goal ...Atom) []Binding {
 				b[v] = binding[v]
 				key.WriteString(string(v))
 				key.WriteByte('=')
-				key.WriteString(encodeValue(binding[v]))
+				appendValue(&key, binding[v])
 				key.WriteByte('|')
 			}
 			if !seen[key.String()] {
@@ -334,13 +546,15 @@ func (e *Engine) Query(goal ...Atom) []Binding {
 // MaxByGroup projects the facts of pred to the maximum value of column
 // valueCol per distinct combination of the groupCols. This extracts the
 // "final value" of a monotonic aggregation (Section 4: the final value of a
-// monotone aggregate is its maximum).
+// monotone aggregate is its maximum). The projection is one linear pass —
+// group-by over the whole relation touches every fact by definition.
 func (e *Engine) MaxByGroup(pred string, valueCol int, groupCols ...int) []Fact {
 	r, ok := e.rels[pred]
 	if !ok {
 		return nil
 	}
 	best := make(map[string]Fact)
+	var kb strings.Builder
 	for _, f := range r.facts {
 		if valueCol >= len(f.Args) {
 			continue
@@ -349,9 +563,9 @@ func (e *Engine) MaxByGroup(pred string, valueCol int, groupCols ...int) []Fact 
 		if !ok {
 			continue
 		}
-		var kb strings.Builder
+		kb.Reset()
 		for _, c := range groupCols {
-			kb.WriteString(encodeValue(f.Args[c]))
+			appendValue(&kb, f.Args[c])
 			kb.WriteByte('|')
 		}
 		k := kb.String()
@@ -446,18 +660,16 @@ func (e *Engine) RunContext(ctx context.Context) error {
 		ctx = context.Background()
 	}
 	e.ctx = ctx
-	e.stopErr = nil
+	e.resetStop()
 	e.rounds = 0
 	e.derivedCount = 0
-	e.steps = 0
-	e.nextCheck = e.opts.Budget.checkEvery()
 	for si, stratum := range e.strata {
 		e.curStratum = si
 		if err := e.runStratum(stratum); err != nil {
 			return err
 		}
-		if e.stopErr != nil {
-			return e.stopErr
+		if se := e.stopError(); se != nil {
+			return se
 		}
 	}
 	return nil
@@ -466,6 +678,39 @@ func (e *Engine) RunContext(ctx context.Context) error {
 // DerivedCount reports the number of facts derived by the last Run,
 // including a partial Run stopped by the budget.
 func (e *Engine) DerivedCount() int { return e.derivedCount }
+
+// workerCount resolves Options.Parallel against GOMAXPROCS and the number of
+// parallel-safe jobs of a round.
+func (e *Engine) workerCount(parallelJobs int) int {
+	w := e.opts.Parallel
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > parallelJobs {
+		w = parallelJobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// chaseJob is one rule instantiation of a chase round: a rule evaluated
+// either against the full store (deltaLit < 0) or with one body occurrence
+// restricted to the previous round's delta (semi-naive evaluation).
+type chaseJob struct {
+	ri         int
+	deltaFacts []Fact
+	deltaLit   int
+}
+
+// pendingFact is a buffered derivation awaiting the round's merge.
+type pendingFact struct {
+	f        Fact
+	key      string
+	premises []Fact // deduplicated premise snapshot (Provenance only)
+	rule     string
+}
 
 func (e *Engine) runStratum(ruleIdxs []int) error {
 	// Predicates derived inside this stratum: delta-tracking applies to them.
@@ -477,53 +722,21 @@ func (e *Engine) runStratum(ruleIdxs []int) error {
 	}
 
 	// Round 0: evaluate every rule against the full store.
-	delta := make(map[string][]Fact)
-	pending := 0 // facts across delta, against Budget.MaxDeltaQueue
-	addDerived := func(f Fact) {
-		if e.rel(f.Pred).insert(f) {
-			e.derivedCount++
-			if b := e.opts.Budget; b.MaxFacts > 0 && e.derivedCount > b.MaxFacts {
-				e.trip(LimitFacts, b.MaxFacts, nil)
-			}
-			pending++
-			if b := e.opts.Budget; b.MaxDeltaQueue > 0 && pending > b.MaxDeltaQueue {
-				e.trip(LimitDeltaQueue, b.MaxDeltaQueue, nil)
-			}
-			if e.opts.TraceFn != nil {
-				e.opts.TraceFn("derive " + f.String())
-			}
-			if e.prov != nil {
-				seen := map[string]bool{}
-				var premises []Fact
-				for _, p := range e.curPremises {
-					if k := p.Key(); !seen[k] {
-						seen[k] = true
-						premises = append(premises, p)
-					}
-				}
-				for _, p := range e.aggExtra {
-					if k := p.Key(); !seen[k] {
-						seen[k] = true
-						premises = append(premises, p)
-					}
-				}
-				e.prov[f.Key()] = Derivation{Rule: e.curRule, Premises: premises}
-			}
-			delta[f.Pred] = append(delta[f.Pred], f)
-		}
+	fullJobs := make([]chaseJob, 0, len(ruleIdxs))
+	for _, ri := range ruleIdxs {
+		fullJobs = append(fullJobs, chaseJob{ri: ri, deltaLit: -1})
 	}
 	faultinject.Fire(faultinject.SiteDatalogRound)
-	for _, ri := range ruleIdxs {
-		if err := e.evalRule(ri, nil, -1, addDerived); err != nil {
-			return err
-		}
+	delta, err := e.runRound(fullJobs)
+	if err != nil {
+		return err
 	}
 	e.rounds++
 
 	for len(delta) > 0 {
 		faultinject.Fire(faultinject.SiteDatalogRound)
-		if e.stopErr != nil {
-			return e.stopErr
+		if se := e.stopError(); se != nil {
+			return se
 		}
 		if err := e.checkCtx(); err != nil {
 			return err
@@ -531,65 +744,261 @@ func (e *Engine) runStratum(ruleIdxs []int) error {
 		if e.rounds >= e.opts.MaxRounds {
 			return e.trip(LimitRounds, e.opts.MaxRounds, nil)
 		}
-		prevDelta := delta
-		delta = make(map[string][]Fact)
-		pending = 0
+		var jobs []chaseJob
 		if e.opts.Naive {
-			for _, ri := range ruleIdxs {
-				if err := e.evalRule(ri, nil, -1, addDerived); err != nil {
-					return err
-				}
-			}
-			e.rounds++
-			continue
-		}
-		for _, ri := range ruleIdxs {
-			rule := e.prog.Rules[ri]
+			jobs = fullJobs
+		} else {
 			// Semi-naive: for each positive body atom occurrence whose
 			// predicate is in this stratum and has a delta, re-evaluate the
 			// rule with that occurrence restricted to the delta. Overlap
 			// between occurrences is harmless under set semantics.
-			for li, l := range rule.Body {
-				if l.Kind != LitAtom || !inStratum[l.Atom.Pred] {
-					continue
-				}
-				df := prevDelta[l.Atom.Pred]
-				if len(df) == 0 {
-					continue
-				}
-				if err := e.evalRule(ri, df, li, addDerived); err != nil {
-					return err
+			for _, ri := range ruleIdxs {
+				rule := e.prog.Rules[ri]
+				for li, l := range rule.Body {
+					if l.Kind != LitAtom || !inStratum[l.Atom.Pred] {
+						continue
+					}
+					df := delta[l.Atom.Pred]
+					if len(df) == 0 {
+						continue
+					}
+					jobs = append(jobs, chaseJob{ri: ri, deltaFacts: df, deltaLit: li})
 				}
 			}
+		}
+		delta, err = e.runRound(jobs)
+		if err != nil {
+			return err
 		}
 		e.rounds++
 	}
 	return nil
 }
 
-// evalRule evaluates one rule. If deltaLit >= 0, the body literal at that
-// index is restricted to deltaFacts (semi-naive evaluation).
-func (e *Engine) evalRule(ri int, deltaFacts []Fact, deltaLit int, emit func(Fact)) error {
-	rule := e.prog.Rules[ri]
-	meta := e.ruleMeta[ri]
-	binding := make(map[Variable]any)
-	if e.prov != nil {
-		e.curRule = rule.Label + ": " + rule.String()
-		e.curPremises = e.curPremises[:0]
+// runRound evaluates one chase round's jobs and returns the delta of newly
+// derived facts per predicate. With one worker the rules evaluate in order
+// with immediate insertion (facts derived by an earlier rule are visible to
+// later rules of the same round); with several workers the rules evaluate
+// against the store frozen at round start and their buffered emissions merge
+// in deterministic job order — the fixpoint is the same either way, only the
+// round count may differ.
+func (e *Engine) runRound(jobs []chaseJob) (map[string][]Fact, error) {
+	delta := make(map[string][]Fact)
+	pending := 0 // facts across delta, against Budget.MaxDeltaQueue
+
+	// afterInsert applies the bookkeeping of one newly inserted fact:
+	// budget accounting, tracing, provenance, delta tracking.
+	afterInsert := func(f Fact, key, rule string, premises []Fact) {
+		e.derivedCount++
+		if b := e.opts.Budget; b.MaxFacts > 0 && e.derivedCount > b.MaxFacts {
+			e.trip(LimitFacts, b.MaxFacts, nil)
+		}
+		pending++
+		if b := e.opts.Budget; b.MaxDeltaQueue > 0 && pending > b.MaxDeltaQueue {
+			e.trip(LimitDeltaQueue, b.MaxDeltaQueue, nil)
+		}
+		if b := e.opts.Budget; b.MaxIndexBytes > 0 && e.indexBytes.Load() > int64(b.MaxIndexBytes) {
+			e.trip(LimitIndexMemory, b.MaxIndexBytes, nil)
+		}
+		if e.opts.TraceFn != nil {
+			e.opts.TraceFn("derive " + f.String())
+		}
+		if e.prov != nil {
+			e.prov[key] = Derivation{Rule: rule, Premises: premises}
+		}
+		delta[f.Pred] = append(delta[f.Pred], f)
 	}
-	return e.evalBody(ri, rule, meta, 0, binding, deltaFacts, deltaLit, emit)
+
+	parallelJobs := 0
+	for _, j := range jobs {
+		if e.ruleMeta[j.ri].parallelSafe() {
+			parallelJobs++
+		}
+	}
+
+	if e.workerCount(parallelJobs) <= 1 {
+		// Sequential path: direct insertion, premises snapshotted at insert.
+		emit := func(f Fact, ec *evalCtx) {
+			isNew, bytes := e.rel(f.Pred).insert(f)
+			e.addIndexBytes(bytes)
+			if !isNew {
+				return
+			}
+			var premises []Fact
+			var rule string
+			if e.prov != nil {
+				premises = ec.snapshotPremises()
+				rule = ec.curRule
+			}
+			afterInsert(f, f.Key(), rule, premises)
+		}
+		ec := e.newEvalCtx()
+		for _, j := range jobs {
+			if err := e.evalJob(ec, j, emit); err != nil {
+				return delta, err
+			}
+		}
+		return delta, nil
+	}
+
+	// Parallel path: workers evaluate the parallel-safe jobs against the
+	// frozen store into per-job buffers; aggregate jobs follow on this
+	// goroutine (shared aggregation state); then every buffer merges in job
+	// order, so the outcome is independent of worker scheduling.
+	buffers := make([][]pendingFact, len(jobs))
+	errs := make([]error, len(jobs))
+	panics := make([]any, len(jobs))
+	e.bufferedFacts.Store(0)
+
+	var parIdx, seqIdx []int
+	for i, j := range jobs {
+		if e.ruleMeta[j.ri].parallelSafe() {
+			parIdx = append(parIdx, i)
+		} else {
+			seqIdx = append(seqIdx, i)
+		}
+	}
+
+	workers := e.workerCount(len(parIdx))
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ec := e.newEvalCtx()
+			for idx := range jobCh {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[idx] = r
+						}
+					}()
+					errs[idx] = e.evalJobBuffered(ec, jobs[idx], &buffers[idx])
+				}()
+			}
+		}()
+	}
+	for _, idx := range parIdx {
+		jobCh <- idx
+	}
+	close(jobCh)
+	wg.Wait()
+
+	// Aggregate rules evaluate here, after the workers, still against the
+	// frozen store: updateAgg mutates shared per-group state, so their order
+	// must be the deterministic job order.
+	ec := e.newEvalCtx()
+	for _, idx := range seqIdx {
+		errs[idx] = e.evalJobBuffered(ec, jobs[idx], &buffers[idx])
+	}
+
+	// Re-panic worker panics on the calling goroutine, preserving the
+	// sequential contract that a panicking builtin reaches the Run caller.
+	for i := range jobs {
+		if panics[i] != nil {
+			panic(panics[i])
+		}
+	}
+
+	// Merge in job order. Cross-job duplicates fall out here.
+	faultinject.Fire(faultinject.SiteDatalogMerge)
+	var firstErr error
+	for i := range jobs {
+		for _, p := range buffers[i] {
+			isNew, bytes := e.rel(p.f.Pred).insert(p.f)
+			e.addIndexBytes(bytes)
+			if !isNew {
+				continue
+			}
+			afterInsert(p.f, p.key, p.rule, p.premises)
+		}
+		if errs[i] != nil && firstErr == nil {
+			firstErr = errs[i]
+		}
+	}
+	if firstErr != nil {
+		return delta, firstErr
+	}
+	if se := e.stopError(); se != nil {
+		return delta, se
+	}
+	return delta, nil
 }
 
-func (e *Engine) evalBody(ri int, rule Rule, meta ruleMeta, pos int, binding map[Variable]any,
-	deltaFacts []Fact, deltaLit int, emit func(Fact)) error {
+// snapshotPremises copies and deduplicates the premise stack plus the active
+// aggregate group's contributions.
+func (ec *evalCtx) snapshotPremises() []Fact {
+	seen := map[string]bool{}
+	var premises []Fact
+	for _, p := range ec.curPremises {
+		if k := p.Key(); !seen[k] {
+			seen[k] = true
+			premises = append(premises, p)
+		}
+	}
+	for _, p := range ec.aggExtra {
+		if k := p.Key(); !seen[k] {
+			seen[k] = true
+			premises = append(premises, p)
+		}
+	}
+	return premises
+}
+
+// evalJob evaluates one job with the given emitter.
+func (e *Engine) evalJob(ec *evalCtx, j chaseJob, emit emitFn) error {
+	rule := e.prog.Rules[j.ri]
+	meta := e.ruleMeta[j.ri]
+	binding := make(map[Variable]any)
+	if e.prov != nil {
+		ec.curRule = meta.label
+		ec.curPremises = ec.curPremises[:0]
+	}
+	return e.evalBody(ec, j.ri, rule, meta, 0, binding, j.deltaFacts, j.deltaLit, emit)
+}
+
+// evalJobBuffered evaluates one job into its buffer: emissions deduplicate
+// against the frozen store and the job's own prior emissions, and premises
+// snapshot at emission time. It only reads shared engine state (except
+// aggregation state for aggregate jobs, which run single-threaded).
+func (e *Engine) evalJobBuffered(ec *evalCtx, j chaseJob, buf *[]pendingFact) error {
+	seen := map[string]bool{}
+	maxFacts := e.opts.Budget.MaxFacts
+	emit := func(f Fact, ec *evalCtx) {
+		k := f.Key()
+		if seen[k] {
+			return
+		}
+		if r, ok := e.rels[f.Pred]; ok && r.keys[k] {
+			return
+		}
+		seen[k] = true
+		p := pendingFact{f: f, key: k}
+		if e.prov != nil {
+			p.premises = ec.snapshotPremises()
+			p.rule = ec.curRule
+		}
+		*buf = append(*buf, p)
+		if buffered := e.bufferedFacts.Add(1); maxFacts > 0 && int(buffered)+e.derivedCount > maxFacts {
+			// Early backstop: the merge performs the authoritative check,
+			// but workers must not buffer unboundedly past the budget.
+			e.trip(LimitFacts, maxFacts, nil)
+		}
+	}
+	return e.evalJob(ec, j, emit)
+}
+
+func (e *Engine) evalBody(ec *evalCtx, ri int, rule Rule, meta ruleMeta, pos int, binding map[Variable]any,
+	deltaFacts []Fact, deltaLit int, emit emitFn) error {
 
 	// Cooperative cancellation: every body-literal expansion is a step, so
 	// even a single enormous join round honors deadlines and budgets.
-	if err := e.step(); err != nil {
+	if err := ec.step(); err != nil {
 		return err
 	}
 	if pos == len(meta.order) {
-		return e.fireHead(ri, rule, meta, binding, emit)
+		return e.fireHead(ec, ri, rule, meta, binding, emit)
 	}
 	li := meta.order[pos]
 	l := rule.Body[li]
@@ -601,19 +1010,20 @@ func (e *Engine) evalBody(ri int, rule Rule, meta ruleMeta, pos int, binding map
 		} else {
 			candidates = e.lookup(l.Atom, binding)
 		}
+		prov := e.prov != nil
 		for _, f := range candidates {
 			undo, ok := bindAtom(l.Atom, f, binding)
 			if !ok {
 				continue
 			}
-			if e.prov != nil {
-				e.curPremises = append(e.curPremises, f)
+			if prov {
+				ec.curPremises = append(ec.curPremises, f)
 			}
-			if err := e.evalBody(ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit); err != nil {
+			if err := e.evalBody(ec, ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit); err != nil {
 				return err
 			}
-			if e.prov != nil {
-				e.curPremises = e.curPremises[:len(e.curPremises)-1]
+			if prov {
+				ec.curPremises = ec.curPremises[:len(ec.curPremises)-1]
 			}
 			undo(binding)
 		}
@@ -623,7 +1033,7 @@ func (e *Engine) evalBody(ri int, rule Rule, meta ruleMeta, pos int, binding map
 		if e.existsMatch(l.Atom, binding) {
 			return nil
 		}
-		return e.evalBody(ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
+		return e.evalBody(ec, ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
 
 	case LitCmp:
 		lv, err := e.evalExpr(l.Left, binding)
@@ -637,7 +1047,7 @@ func (e *Engine) evalBody(ri int, rule Rule, meta ruleMeta, pos int, binding map
 		if !compare(l.Cmp, lv, rv) {
 			return nil
 		}
-		return e.evalBody(ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
+		return e.evalBody(ec, ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
 
 	case LitAssign:
 		v, err := e.evalExpr(l.Expr, binding)
@@ -646,13 +1056,13 @@ func (e *Engine) evalBody(ri int, rule Rule, meta ruleMeta, pos int, binding map
 		}
 		if old, bound := binding[l.Var]; bound {
 			// Re-assignment acts as an equality check.
-			if encodeValue(old) != encodeValue(v) {
+			if !valueEqual(old, v) {
 				return nil
 			}
-			return e.evalBody(ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
+			return e.evalBody(ec, ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
 		}
 		binding[l.Var] = v
-		err = e.evalBody(ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
+		err = e.evalBody(ec, ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
 		delete(binding, l.Var)
 		return err
 
@@ -675,24 +1085,24 @@ func (e *Engine) evalBody(ri int, rule Rule, meta ruleMeta, pos int, binding map
 			// The contribution is absorbed without a new derivation, but its
 			// premises still belong to the group's explanation.
 			if e.prov != nil {
-				e.recordAggPremises(groupKey)
+				e.recordAggPremises(ec, groupKey)
 			}
 			return nil
 		}
 		var savedExtra []Fact
 		if e.prov != nil {
 			st := e.aggState[groupKey]
-			savedExtra = e.aggExtra
+			savedExtra = ec.aggExtra
 			// Prior contributions explain the running total; the current
 			// body facts are on curPremises already.
-			e.aggExtra = append(append([]Fact(nil), savedExtra...), st.premises...)
-			e.recordAggPremises(groupKey)
+			ec.aggExtra = append(append([]Fact(nil), savedExtra...), st.premises...)
+			e.recordAggPremises(ec, groupKey)
 		}
 		binding[l.Var] = total
-		err = e.evalBody(ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
+		err = e.evalBody(ec, ri, rule, meta, pos+1, binding, deltaFacts, deltaLit, emit)
 		delete(binding, l.Var)
 		if e.prov != nil {
-			e.aggExtra = savedExtra
+			ec.aggExtra = savedExtra
 		}
 		return err
 	}
@@ -701,7 +1111,7 @@ func (e *Engine) evalBody(ri int, rule Rule, meta ruleMeta, pos int, binding map
 
 // fireHead instantiates the head atoms under the binding, inventing nulls for
 // existential variables.
-func (e *Engine) fireHead(ri int, rule Rule, meta ruleMeta, binding map[Variable]any, emit func(Fact)) error {
+func (e *Engine) fireHead(ec *evalCtx, ri int, rule Rule, meta ruleMeta, binding map[Variable]any, emit emitFn) error {
 	var frontier string
 	if len(meta.existVars) > 0 {
 		frontier = frontierKey(ri, meta.headVars, binding)
@@ -722,7 +1132,7 @@ func (e *Engine) fireHead(ri int, rule Rule, meta ruleMeta, binding map[Variable
 				}
 			}
 		}
-		emit(Fact{Pred: h.Pred, Args: args})
+		emit(Fact{Pred: h.Pred, Args: args}, ec)
 	}
 	return nil
 }
@@ -735,7 +1145,7 @@ func frontierKey(ri int, headVars []Variable, binding map[Variable]any) string {
 			sb.WriteByte('|')
 			sb.WriteString(string(v))
 			sb.WriteByte('=')
-			sb.WriteString(encodeValue(val))
+			appendValue(&sb, val)
 		}
 	}
 	return sb.String()
@@ -759,13 +1169,13 @@ func (e *Engine) groupKey(ri int, rule Rule, meta ruleMeta, binding map[Variable
 		}
 		switch tt := t.(type) {
 		case Constant:
-			sb.WriteString(encodeValue(tt.Value))
+			appendValue(&sb, tt.Value)
 		case Variable:
 			val, ok := binding[tt]
 			if !ok {
 				return "", fmt.Errorf("datalog: rule %q: aggregation group variable %s unbound", rule.Label, tt)
 			}
-			sb.WriteString(encodeValue(val))
+			appendValue(&sb, val)
 		}
 	}
 	return sb.String(), nil
@@ -778,7 +1188,7 @@ func contributorKey(vars []Variable, binding map[Variable]any) string {
 			sb.WriteByte('|')
 		}
 		if val, ok := binding[v]; ok {
-			sb.WriteString(encodeValue(val))
+			appendValue(&sb, val)
 		}
 	}
 	return sb.String()
@@ -786,7 +1196,7 @@ func contributorKey(vars []Variable, binding map[Variable]any) string {
 
 // recordAggPremises folds the current body premises into the aggregate
 // group's explanation set (deduplicated).
-func (e *Engine) recordAggPremises(groupKey string) {
+func (e *Engine) recordAggPremises(ec *evalCtx, groupKey string) {
 	st := e.aggState[groupKey]
 	if st == nil {
 		return
@@ -794,7 +1204,7 @@ func (e *Engine) recordAggPremises(groupKey string) {
 	if st.premKeys == nil {
 		st.premKeys = map[string]bool{}
 	}
-	for _, p := range e.curPremises {
+	for _, p := range ec.curPremises {
 		if k := p.Key(); !st.premKeys[k] {
 			st.premKeys[k] = true
 			st.premises = append(st.premises, p)
@@ -874,15 +1284,26 @@ func (e *Engine) updateAgg(ri int, groupKey string, op AggOp, contribKey string,
 }
 
 // lookup returns candidate facts for an atom under the current binding,
-// using the best available positional index.
+// probing the best available positional index: the smallest bucket among
+// built indexes of bound positions, or a freshly built index on the first
+// bound position when none exists yet. Unbound atoms (or NoIndex mode) fall
+// back to the full relation.
 func (e *Engine) lookup(a Atom, binding map[Variable]any) []Fact {
 	r, ok := e.rels[a.Pred]
 	if !ok {
 		return nil
 	}
+	if e.opts.NoIndex {
+		return r.facts
+	}
 	bestPos, bestLen := -1, -1
 	var bestKey string
+	firstBound := -1
+	var firstKey string
 	for i, t := range a.Terms {
+		if i >= len(r.index) || i >= 64 {
+			break
+		}
 		var val any
 		switch tt := t.(type) {
 		case Constant:
@@ -894,20 +1315,31 @@ func (e *Engine) lookup(a Atom, binding map[Variable]any) []Fact {
 			}
 			val = v
 		}
-		if i >= len(r.index) || r.index[i] == nil {
-			continue
-		}
 		k := encodeValue(val)
-		n := len(r.index[i][k])
-		if bestPos == -1 || n < bestLen {
-			bestPos, bestLen, bestKey = i, n, k
+		if firstBound == -1 {
+			firstBound, firstKey = i, k
+		}
+		if r.hasIndex(i) {
+			n := len(r.bucket(i, k))
+			if bestPos == -1 || n < bestLen {
+				bestPos, bestLen, bestKey = i, n, k
+			}
+		}
+	}
+	if bestPos == -1 && firstBound >= 0 {
+		e.addIndexBytes(r.ensureIndex(firstBound))
+		if r.hasIndex(firstBound) {
+			bestPos, bestKey = firstBound, firstKey
 		}
 	}
 	if bestPos >= 0 {
-		idxs := r.index[bestPos][bestKey]
-		out := make([]Fact, 0, len(idxs))
-		for _, i := range idxs {
-			out = append(out, r.facts[i])
+		idxs := r.bucket(bestPos, bestKey)
+		if len(idxs) == 0 {
+			return nil
+		}
+		out := make([]Fact, len(idxs))
+		for j, i := range idxs {
+			out[j] = r.facts[i]
 		}
 		return out
 	}
@@ -941,7 +1373,7 @@ func bindAtom(a Atom, f Fact, binding map[Variable]any) (func(map[Variable]any),
 	for i, t := range a.Terms {
 		switch tt := t.(type) {
 		case Constant:
-			if encodeValue(tt.Value) != encodeValue(f.Args[i]) {
+			if !valueEqual(tt.Value, f.Args[i]) {
 				undo(binding)
 				return nil, false
 			}
@@ -950,7 +1382,7 @@ func bindAtom(a Atom, f Fact, binding map[Variable]any) (func(map[Variable]any),
 				continue
 			}
 			if v, bound := binding[tt]; bound {
-				if encodeValue(v) != encodeValue(f.Args[i]) {
+				if !valueEqual(v, f.Args[i]) {
 					undo(binding)
 					return nil, false
 				}
@@ -963,8 +1395,16 @@ func bindAtom(a Atom, f Fact, binding map[Variable]any) (func(map[Variable]any),
 	return undo, true
 }
 
-// evalExpr evaluates an expression under a binding.
+// evalExpr evaluates an expression under a binding. It delegates to
+// evalExprWith so the test-only reference evaluator shares builtin dispatch
+// without sharing the join machinery under test.
 func (e *Engine) evalExpr(ex Expr, binding map[Variable]any) (any, error) {
+	return evalExprWith(e.builtins, ex, binding)
+}
+
+// evalExprWith evaluates an expression under a binding with an explicit
+// builtin table.
+func evalExprWith(builtins map[string]Builtin, ex Expr, binding map[Variable]any) (any, error) {
 	switch x := ex.(type) {
 	case TermExpr:
 		switch t := x.Term.(type) {
@@ -978,11 +1418,11 @@ func (e *Engine) evalExpr(ex Expr, binding map[Variable]any) (any, error) {
 			return v, nil
 		}
 	case BinExpr:
-		lv, err := e.evalExpr(x.L, binding)
+		lv, err := evalExprWith(builtins, x.L, binding)
 		if err != nil {
 			return nil, err
 		}
-		rv, err := e.evalExpr(x.R, binding)
+		rv, err := evalExprWith(builtins, x.R, binding)
 		if err != nil {
 			return nil, err
 		}
@@ -1011,13 +1451,13 @@ func (e *Engine) evalExpr(ex Expr, binding map[Variable]any) (any, error) {
 	case CallExpr:
 		args := make([]any, len(x.Args))
 		for i, a := range x.Args {
-			v, err := e.evalExpr(a, binding)
+			v, err := evalExprWith(builtins, a, binding)
 			if err != nil {
 				return nil, err
 			}
 			args[i] = v
 		}
-		if fn, ok := e.builtins[x.Name]; ok {
+		if fn, ok := builtins[x.Name]; ok {
 			return fn(args)
 		}
 		if strings.HasPrefix(x.Name, "sk") {

@@ -101,7 +101,7 @@ func NewSkolem(fn string, args ...any) SkolemID {
 		if i > 0 {
 			sb.WriteByte('|')
 		}
-		sb.WriteString(encodeValue(a))
+		appendValue(&sb, a)
 	}
 	return SkolemID{Fn: fn, Key: sb.String()}
 }
@@ -116,29 +116,92 @@ func Bool(b bool) Constant   { return Constant{Value: b} }
 // keys and Skolem keys. The one-letter prefix keeps types disjoint
 // (e.g. string "1" ≠ int 1 ≠ float 1.0).
 func encodeValue(v any) string {
+	var sb strings.Builder
+	appendValue(&sb, v)
+	return sb.String()
+}
+
+// appendValue writes the canonical encoding of a ground value into a builder
+// without allocating an intermediate string — the hot-path form of
+// encodeValue, used when building fact keys and index probes.
+func appendValue(sb *strings.Builder, v any) {
 	switch x := v.(type) {
 	case string:
-		return "s" + x
+		sb.WriteByte('s')
+		sb.WriteString(x)
 	case float64:
 		if x == math.Trunc(x) && math.Abs(x) < 1e15 {
 			// Normalize integral floats so 1.0 and 1 compare equal when both
 			// arrive as float64 through different arithmetic paths.
-			return "f" + strconv.FormatFloat(x, 'f', 1, 64)
+			sb.WriteByte('f')
+			sb.WriteString(strconv.FormatFloat(x, 'f', 1, 64))
+			return
 		}
-		return "f" + strconv.FormatFloat(x, 'g', 17, 64)
+		sb.WriteByte('f')
+		sb.WriteString(strconv.FormatFloat(x, 'g', 17, 64))
 	case int64:
-		return "i" + strconv.FormatInt(x, 10)
+		sb.WriteByte('i')
+		sb.WriteString(strconv.FormatInt(x, 10))
 	case int:
-		return "i" + strconv.Itoa(x)
+		sb.WriteByte('i')
+		sb.WriteString(strconv.Itoa(x))
 	case bool:
-		return "b" + strconv.FormatBool(x)
+		sb.WriteByte('b')
+		sb.WriteString(strconv.FormatBool(x))
 	case Null:
-		return "n" + strconv.FormatUint(x.ID, 10)
+		sb.WriteByte('n')
+		sb.WriteString(strconv.FormatUint(x.ID, 10))
 	case SkolemID:
-		return "k" + x.Fn + ":" + x.Key
+		sb.WriteByte('k')
+		sb.WriteString(x.Fn)
+		sb.WriteByte(':')
+		sb.WriteString(x.Key)
 	default:
-		return fmt.Sprintf("?%v", x)
+		fmt.Fprintf(sb, "?%v", x)
 	}
+}
+
+// valueEqual reports whether two ground values have equal canonical
+// encodings, without building the encodings. The cases mirror appendValue
+// exactly: types are disjoint except int/int64 (both encode with the "i"
+// prefix), and floats compare by bit pattern (the 17-digit 'g' encoding is
+// injective on non-NaN floats, so -0.0 ≠ 0.0 — the same distinction the
+// string form makes). Exotic values fall back to the string comparison.
+func valueEqual(a, b any) bool {
+	switch x := a.(type) {
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case float64:
+		y, ok := b.(float64)
+		return ok && math.Float64bits(x) == math.Float64bits(y)
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			return x == y
+		case int:
+			return x == int64(y)
+		}
+		return false
+	case int:
+		switch y := b.(type) {
+		case int64:
+			return int64(x) == y
+		case int:
+			return x == y
+		}
+		return false
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case Null:
+		y, ok := b.(Null)
+		return ok && x.ID == y.ID
+	case SkolemID:
+		y, ok := b.(SkolemID)
+		return ok && x == y
+	}
+	return encodeValue(a) == encodeValue(b)
 }
 
 // Fact is a ground atom: a predicate applied to ground values.
@@ -156,7 +219,7 @@ func (f Fact) Key() string {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
-		sb.WriteString(encodeValue(a))
+		appendValue(&sb, a)
 	}
 	sb.WriteByte(')')
 	return sb.String()

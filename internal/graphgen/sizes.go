@@ -1,0 +1,8 @@
+package graphgen
+
+// BenchmarkSizes is the shared scale ladder of the benchmark regression
+// harness (chase_bench_test.go, scripts/bench.sh): company counts for the
+// fixed-seed Italian workloads. Keeping the ladder in one place makes
+// before/after numbers comparable across PRs — scripts/bench.sh emits one
+// BENCH_<n>.json per entry.
+var BenchmarkSizes = []int{1_000, 10_000, 50_000}

@@ -59,12 +59,27 @@ func CompanyGraphFacts(g *pg.Graph) []datalog.Fact {
 			facts = append(facts, datalog.Fact{Pred: PredPerson, Args: args})
 		}
 	}
+	// Parallel shareholding edges aggregate into one own fact per (from, to):
+	// Definition 2.3's direct ownership w(x, y) is the total fraction of y's
+	// shares held by x, and the reasoning programs' per-contributor msum
+	// (⟨Z⟩) would otherwise keep only the largest of several parcels held by
+	// the same owner. Emission order follows the first edge per pair, so the
+	// output stays deterministic.
+	total := map[[2]pg.NodeID]float64{}
+	var order [][2]pg.NodeID
 	for _, eid := range g.EdgesWithLabel(pg.LabelShareholding) {
 		e := g.Edge(eid)
 		w, _ := e.Weight()
+		key := [2]pg.NodeID{e.From, e.To}
+		if _, seen := total[key]; !seen {
+			order = append(order, key)
+		}
+		total[key] += w
+	}
+	for _, key := range order {
 		facts = append(facts, datalog.Fact{
 			Pred: PredOwn,
-			Args: []any{int64(e.From), int64(e.To), w},
+			Args: []any{int64(key[0]), int64(key[1]), total[key]},
 		})
 	}
 	return facts

@@ -1,0 +1,135 @@
+package vadalog
+
+// Golden-output tests for the paper's three reasoning programs: company
+// control, close links, and family augmentation (family control over the
+// fammember relation), run on a small fixed-seed graphgen graph. The
+// expected outputs live in testdata/golden/*.golden; regenerate with
+//
+//	go test ./internal/vadalog -run TestGolden -update
+//
+// Each case runs twice — sequential chase and a 4-worker parallel chase —
+// against the same golden file, pinning both the program semantics and the
+// engine-configuration independence that the differential harness checks on
+// random programs.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"vadalink/internal/datalog"
+	"vadalink/internal/graphgen"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+func goldenGraph() *graphgen.Italian {
+	return graphgen.NewItalian(graphgen.ItalianConfig{Persons: 30, Companies: 60, Seed: 11})
+}
+
+// goldenLines runs the reasoner for one task set and renders the derived
+// facts of the named predicates as sorted lines.
+func goldenLines(t *testing.T, it *graphgen.Italian, tasks Task, parallel int, preds []string, withAccown bool) []string {
+	t.Helper()
+	r := NewReasoner(it.Graph, tasks)
+	r.Options = datalog.Options{Parallel: parallel}
+	if tasks&TaskFamilyControl != 0 {
+		r.Families = it.Families
+	}
+	if err := r.Run(); err != nil {
+		t.Fatalf("reasoner run (parallel=%d): %v", parallel, err)
+	}
+	var lines []string
+	for _, pred := range preds {
+		for _, f := range r.Engine().Facts(pred) {
+			lines = append(lines, f.String())
+		}
+	}
+	if withAccown {
+		// Accumulated ownership renders at 6 decimals: enough to pin the
+		// semantics, coarse enough to absorb float-association differences
+		// between sequential and parallel summation order.
+		acc := r.AccumulatedOwnership()
+		for k, v := range acc {
+			lines = append(lines, fmt.Sprintf("accown(%d, %d) = %.6f", k[0], k[1], v))
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestGoldenPrograms(t *testing.T) {
+	cases := []struct {
+		name       string
+		tasks      Task
+		preds      []string
+		withAccown bool
+	}{
+		{"control", TaskControl, []string{"control"}, false},
+		{"closelink", TaskCloseLink, []string{"closelink"}, true},
+		{"familycontrol", TaskFamilyControl, []string{"familycontrol", "control"}, false},
+	}
+	it := goldenGraph()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", tc.name+".golden")
+			seq := goldenLines(t, it, tc.tasks, 1, tc.preds, tc.withAccown)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(strings.Join(seq, "\n")+"\n"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading golden file (run with -update to create): %v", err)
+			}
+			want := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+			for _, run := range []struct {
+				name     string
+				parallel int
+			}{{"sequential", 1}, {"parallel4", 4}} {
+				got := seq
+				if run.parallel != 1 {
+					got = goldenLines(t, it, tc.tasks, run.parallel, tc.preds, tc.withAccown)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d lines, golden has %d\nfirst lines got: %s",
+						run.name, len(got), len(want), head(got, 5))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s: line %d:\n got: %s\nwant: %s", run.name, i+1, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenNonEmpty guards against a silently empty golden corpus: a seed
+// change that derives nothing should fail loudly, not pin a vacuous file.
+func TestGoldenNonEmpty(t *testing.T) {
+	for _, name := range []string{"control", "closelink", "familycontrol"} {
+		raw, err := os.ReadFile(filepath.Join("testdata", "golden", name+".golden"))
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", name, err)
+		}
+		if len(strings.TrimSpace(string(raw))) == 0 {
+			t.Fatalf("%s.golden is empty — regenerate with a seed that derives facts", name)
+		}
+	}
+}
+
+func head(lines []string, n int) string {
+	if len(lines) < n {
+		n = len(lines)
+	}
+	return strings.Join(lines[:n], " | ")
+}

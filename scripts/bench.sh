@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# bench.sh — the benchmark regression harness: runs the chase/query/augment
+# benchmarks over the graphgen size ladder and emits one BENCH_<n>.json per
+# size (via scripts/benchjson.go) for before/after comparison across PRs.
+#
+#   BENCHTIME=2s scripts/bench.sh        # longer per-benchmark budget
+#   BENCH_OUT=/tmp scripts/bench.sh      # write the JSON files elsewhere
+#
+# The default BENCHTIME of 1x is the CI smoke setting — every benchmark runs
+# once so the harness can't bit-rot; for real measurements use a time-based
+# BENCHTIME and a quiet machine, and record engine-touching changes in
+# CHANGES.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+BENCH_OUT="${BENCH_OUT:-.}"
+COUNT="${COUNT:-1}"
+
+go test -run '^$' \
+    -bench 'BenchmarkChase|BenchmarkQuery|BenchmarkAugment' \
+    -benchtime "$BENCHTIME" -count "$COUNT" -benchmem -timeout 0 . \
+  | go run scripts/benchjson.go "$BENCH_OUT"

@@ -1,0 +1,123 @@
+//go:build ignore
+
+// benchjson converts `go test -bench` output (stdin) into one BENCH_<n>.json
+// file per workload size, where <n> is taken from the /n=<size> benchmark
+// name component. Run through scripts/bench.sh:
+//
+//	go test -run '^$' -bench ... | go run scripts/benchjson.go [outdir]
+//
+// Output shape, one file per size:
+//
+//	{
+//	  "size": 1000,
+//	  "benchmarks": [
+//	    {"name": "Chase/indexed", "iterations": 3, "ns_per_op": 16814511,
+//	     "metrics": {"B/op": 4811848, "allocs/op": 141482, "control-facts": 150}}
+//	  ]
+//	}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type sizeReport struct {
+	Size       int           `json:"size"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+var sizeRe = regexp.MustCompile(`/n=(\d+)`)
+
+func main() {
+	outDir := "."
+	if len(os.Args) > 1 {
+		outDir = os.Args[1]
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	bySize := map[int][]benchResult{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through, so bench.sh output stays readable
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		m := sizeRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		size, _ := strconv.Atoi(m[1])
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		name = sizeRe.ReplaceAllString(name, "")
+		// Strip the trailing -<GOMAXPROCS> suffix of the benchmark name.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := benchResult{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+		// Remaining fields come in "<value> <unit>" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if fields[i+1] == "ns/op" {
+				r.NsPerOp = v
+			} else {
+				r.Metrics[fields[i+1]] = v
+			}
+		}
+		bySize[size] = append(bySize[size], r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+	var sizes []int
+	for s := range bySize {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		rep := sizeReport{Size: s, Benchmarks: bySize[s]}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(outDir, fmt.Sprintf("BENCH_%d.json", s))
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
+	}
+}

@@ -15,6 +15,24 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== coverage floor (internal/datalog) =="
+# The engine is the hottest and most-refactored code in the repo; hold its
+# statement coverage at the level the indexing/parallelism PR established
+# (87.3% at the time) so later perf work can't silently shed tests.
+COVER_FLOOR="${COVER_FLOOR:-86.0}"
+go test -coverprofile=/tmp/datalog.cover ./internal/datalog >/dev/null
+cov="$(go tool cover -func=/tmp/datalog.cover | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')"
+echo "internal/datalog coverage: ${cov}% (floor ${COVER_FLOOR}%)"
+awk -v c="$cov" -v f="$COVER_FLOOR" 'BEGIN { exit (c + 0 >= f + 0) ? 0 : 1 }' || {
+    echo "coverage ${cov}% fell below the ${COVER_FLOOR}% floor" >&2
+    exit 1
+}
+
+echo "== benchmark smoke (1x) =="
+# Run every regression benchmark once so the harness can't bit-rot; real
+# measurements go through scripts/bench.sh with a time-based BENCHTIME.
+BENCH_OUT="${BENCH_OUT:-/tmp}" ./scripts/bench.sh
+
 echo "== fuzz targets (${FUZZTIME} each) =="
 # Discover every Fuzz* target and give each a short budget; a regression in
 # input hardening shows up here before it ships.
