@@ -185,8 +185,12 @@ func BenchmarkAblationSemiNaive(b *testing.B) {
 			name = "naive"
 		}
 		b.Run(name, func(b *testing.B) {
+			var opts []datalog.Option
+			if naive {
+				opts = append(opts, datalog.WithNaive())
+			}
 			for i := 0; i < b.N; i++ {
-				e, err := datalog.NewEngine(datalog.MustParse(src), datalog.Options{Naive: naive})
+				e, err := datalog.NewEngine(datalog.MustParse(src), opts...)
 				if err != nil {
 					b.Fatal(err)
 				}

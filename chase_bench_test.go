@@ -39,12 +39,15 @@ func BenchmarkChase(b *testing.B) {
 		edb := chaseWorkload(b, n)
 		for _, mode := range []struct {
 			name string
-			opts datalog.Options
+			opts []datalog.Option
 		}{
-			{"indexed", datalog.Options{}},
-			{"scan", datalog.Options{NoIndex: true}},
+			{"indexed", nil},
+			{"stats", []datalog.Option{datalog.WithStats()}},
+			{"scan", []datalog.Option{datalog.WithNoIndex()}},
 		} {
-			if mode.opts.NoIndex && n > 1000 {
+			// Scan mode is quadratic: only the smallest size. The stats mode
+			// exists to bound instrumentation overhead against "indexed".
+			if mode.name == "scan" && n > 1000 {
 				continue
 			}
 			b.Run(fmt.Sprintf("%s/n=%d", mode.name, n), func(b *testing.B) {
@@ -52,7 +55,7 @@ func BenchmarkChase(b *testing.B) {
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					e, err := datalog.NewEngine(prog, mode.opts)
+					e, err := datalog.NewEngine(prog, mode.opts...)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -61,6 +64,16 @@ func BenchmarkChase(b *testing.B) {
 						b.Fatal(err)
 					}
 					b.ReportMetric(float64(e.NumFacts("control")), "control-facts")
+					// In stats mode, surface the chase report in the bench
+					// output so bench.sh lands it in BENCH_<n>.json.
+					if st := e.Stats(); st != nil {
+						b.ReportMetric(float64(st.Rounds), "chase-rounds")
+						b.ReportMetric(float64(st.Derived), "derived-facts")
+						b.ReportMetric(float64(st.Duplicates), "duplicate-facts")
+						b.ReportMetric(float64(st.IndexHits), "index-hits")
+						b.ReportMetric(float64(st.IndexScans), "index-scans")
+						b.ReportMetric(st.Utilization, "pool-utilization")
+					}
 				}
 			})
 		}
@@ -74,7 +87,7 @@ func BenchmarkQuery(b *testing.B) {
 	for _, n := range graphgen.BenchmarkSizes {
 		edb := chaseWorkload(b, n)
 		prog := datalog.MustParse(vadalog.ControlProgram)
-		e, err := datalog.NewEngine(prog, datalog.Options{})
+		e, err := datalog.NewEngine(prog)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,11 +10,15 @@
 //	vadalink family    -in graph.json [-k 1]
 //	vadalink reason    -in graph.json -task control|closelink|partner
 //	vadalink serve     -in graph.json [-addr :8080] [-timeout 30s]
-//	                   [-max-facts N] [-max-rounds N]
+//	                   [-max-facts N] [-max-rounds N] [-metrics=true]
+//	                   [-pprof] [-log-format text|json|off]
 //
 // serve applies a per-request wall-clock deadline and an optional chase
 // budget; truncated answers are marked "truncated" in the JSON. SIGINT and
-// SIGTERM drain in-flight requests before the process exits.
+// SIGTERM drain in-flight requests before the process exits. Per-endpoint
+// counters and the last chase report are served on GET /v1/metrics (disable
+// with -metrics=false); -pprof mounts net/http/pprof under /debug/pprof/;
+// -log-format selects slog text or JSON access logs on stderr.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -81,7 +86,7 @@ func cmdExplain(args []string) {
 	}
 	g := loadGraph(*in)
 	r := vadalink.NewReasoner(g, vadalink.TaskControl)
-	r.Options.Provenance = true
+	r.EngineOptions = append(r.EngineOptions, vadalink.WithProvenance())
 	if err := r.Run(); err != nil {
 		log.Fatal(err)
 	}
@@ -319,10 +324,24 @@ func cmdServe(args []string) {
 	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = 30s default, negative = none)")
 	maxFacts := fs.Int("max-facts", 0, "chase budget: max derived facts per request (0 = unlimited)")
 	maxRounds := fs.Int("max-rounds", 0, "chase budget: max evaluation rounds per request (0 = engine default)")
+	metrics := fs.Bool("metrics", true, "collect per-endpoint metrics and serve GET /v1/metrics")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logFormat := fs.String("log-format", "text", "access-log format: text | json | off")
 	_ = fs.Parse(args)
 	g := loadGraph(*in)
 	cfg := vadalink.APIConfig{Timeout: *timeout, MaxRounds: *maxRounds}
 	cfg.Budget.MaxFacts = *maxFacts
+	cfg.DisableMetrics = !*metrics
+	cfg.Pprof = *pprofOn
+	switch *logFormat {
+	case "text":
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+	default:
+		log.Fatalf("unknown -log-format %q (want text, json or off)", *logFormat)
+	}
 	log.Printf("serving reasoning API on %s (%d nodes, %d edges)", *addr, g.NumNodes(), g.NumEdges())
 
 	// SIGINT/SIGTERM drain in-flight requests instead of dropping them.

@@ -59,7 +59,7 @@ func main() {
 
 	// Declarative reasoning: control.
 	r := vadalink.NewReasoner(g, vadalink.TaskControl)
-	r.Options.Provenance = true
+	r.EngineOptions = append(r.EngineOptions, vadalink.WithProvenance())
 	if err := r.Run(); err != nil {
 		log.Fatal(err)
 	}

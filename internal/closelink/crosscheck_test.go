@@ -18,10 +18,10 @@ import (
 	"vadalink/internal/vadalog"
 )
 
-func runReasoner(t *testing.T, g *pg.Graph, opts datalog.Options) *vadalog.Reasoner {
+func runReasoner(t *testing.T, g *pg.Graph, opts ...datalog.Option) *vadalog.Reasoner {
 	t.Helper()
 	r := vadalog.NewReasoner(g, vadalog.TaskCloseLink)
-	r.Options = opts
+	r.EngineOptions = opts
 	if err := r.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -35,15 +35,19 @@ func runReasoner(t *testing.T, g *pg.Graph, opts datalog.Options) *vadalog.Reaso
 func TestCloseLinkEngineConfigsAgree(t *testing.T) {
 	for seed := int64(1); seed <= 5; seed++ {
 		it := graphgen.NewItalian(graphgen.ItalianConfig{Persons: 12, Companies: 25, Seed: seed})
-		base := runReasoner(t, it.Graph, datalog.Options{Parallel: 1})
+		base := runReasoner(t, it.Graph, datalog.WithParallel(1))
 		wantPairs := base.CloseLinkPairs()
 		wantAcc := base.AccumulatedOwnership()
 
-		for _, opts := range []datalog.Options{
-			{Parallel: 4},
-			{Parallel: 1, NoIndex: true},
+		for _, cfg := range []struct {
+			name string
+			opts []datalog.Option
+		}{
+			{"par4", []datalog.Option{datalog.WithParallel(4)}},
+			{"seq-noindex", []datalog.Option{datalog.WithParallel(1), datalog.WithNoIndex()}},
 		} {
-			r := runReasoner(t, it.Graph, opts)
+			opts := cfg.name
+			r := runReasoner(t, it.Graph, cfg.opts...)
 			gotPairs := r.CloseLinkPairs()
 			if len(gotPairs) != len(wantPairs) {
 				t.Fatalf("seed %d opts %+v: %d pairs, want %d", seed, opts, len(gotPairs), len(wantPairs))
@@ -90,7 +94,7 @@ func TestAccumulatedMatchesImperativeOnDAG(t *testing.T) {
 		}
 	}
 
-	r := runReasoner(t, g, datalog.Options{Parallel: 4})
+	r := runReasoner(t, g, datalog.WithParallel(4))
 	acc := r.AccumulatedOwnership()
 	for _, x := range layers[0] {
 		imp := closelink.AccumulatedFrom(g, x, closelink.Options{})

@@ -34,7 +34,7 @@ func TestAllPairsMatchesDeclarativeOnRandomGraphs(t *testing.T) {
 
 		for _, parallel := range []int{1, 4} {
 			r := vadalog.NewReasoner(g, vadalog.TaskControl)
-			r.Options = datalog.Options{Parallel: parallel}
+			r.EngineOptions = []datalog.Option{datalog.WithParallel(parallel)}
 			if err := r.Run(); err != nil {
 				t.Fatalf("seed %d parallel %d: %v", seed, parallel, err)
 			}

@@ -119,8 +119,8 @@ func (e *BudgetExceededError) Unwrap() error { return e.Cause }
 // first trip wins, later ones return the recorded error.
 func (e *Engine) trip(limit Limit, bound int, cause error) *BudgetExceededError {
 	e.stopMu.Lock()
-	defer e.stopMu.Unlock()
-	if e.stopErr == nil {
+	first := e.stopErr == nil
+	if first {
 		e.stopErr = &BudgetExceededError{
 			Limit:   limit,
 			Bound:   bound,
@@ -131,7 +131,16 @@ func (e *Engine) trip(limit Limit, bound int, cause error) *BudgetExceededError 
 		}
 		e.stopped.Store(true)
 	}
-	return e.stopErr
+	err := e.stopErr
+	e.stopMu.Unlock()
+	// The BudgetTrip hook fires outside stopMu so a callback reading engine
+	// state cannot deadlock against another worker tripping concurrently.
+	if first {
+		if fn := e.opts.Hook.BudgetTrip; fn != nil {
+			fn(err)
+		}
+	}
+	return err
 }
 
 // stopError returns the recorded budget violation, if any.

@@ -19,13 +19,13 @@ const divergingProgram = `
 	q(X, Y) -> p(Y).
 `
 
-func divergingEngine(t *testing.T, opts Options) *Engine {
+func divergingEngine(t *testing.T, opts ...Option) *Engine {
 	t.Helper()
 	prog, err := Parse(divergingProgram)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := NewEngine(prog, opts)
+	e, err := NewEngine(prog, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func divergingEngine(t *testing.T, opts Options) *Engine {
 }
 
 func TestMaxRoundsTypedError(t *testing.T) {
-	e := divergingEngine(t, Options{MaxRounds: 10})
+	e := divergingEngine(t, WithMaxRounds(10))
 	err := e.Run()
 	if err == nil {
 		t.Fatal("diverging program terminated")
@@ -66,7 +66,7 @@ func TestMaxRoundsTypedError(t *testing.T) {
 }
 
 func TestDeadlineStopsChase(t *testing.T) {
-	e := divergingEngine(t, Options{})
+	e := divergingEngine(t)
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
@@ -85,7 +85,7 @@ func TestDeadlineStopsChase(t *testing.T) {
 }
 
 func TestCancellationStopsChase(t *testing.T) {
-	e := divergingEngine(t, Options{})
+	e := divergingEngine(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(20 * time.Millisecond)
@@ -102,7 +102,7 @@ func TestCancellationStopsChase(t *testing.T) {
 }
 
 func TestMaxFactsBudget(t *testing.T) {
-	e := divergingEngine(t, Options{Budget: Budget{MaxFacts: 100}})
+	e := divergingEngine(t, WithBudget(Budget{MaxFacts: 100}))
 	err := e.Run()
 	var be *BudgetExceededError
 	if !errors.As(err, &be) || be.Limit != LimitFacts {
@@ -125,7 +125,7 @@ func TestMaxDeltaQueueBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := NewEngine(prog, Options{Budget: Budget{MaxDeltaQueue: 10}})
+	e, err := NewEngine(prog, WithBudget(Budget{MaxDeltaQueue: 10}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestBudgetZeroIsUnlimited(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := NewEngine(prog, Options{})
+	e, err := NewEngine(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestSlowStratumHonorsDeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := NewEngine(prog, Options{})
+	e, err := NewEngine(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestSlowStratumHonorsDeadline(t *testing.T) {
 func TestRunContextAfterTripIsReusable(t *testing.T) {
 	// A budget-stopped engine can be re-run with a bigger budget and makes
 	// further progress (the chase is monotone, derived facts persist).
-	e := divergingEngine(t, Options{Budget: Budget{MaxFacts: 50}})
+	e := divergingEngine(t, WithBudget(Budget{MaxFacts: 50}))
 	if err := e.Run(); err == nil {
 		t.Fatal("want trip")
 	}
@@ -209,7 +209,7 @@ func TestRunContextAfterTripIsReusable(t *testing.T) {
 
 func ExampleBudgetExceededError() {
 	prog, _ := Parse(divergingProgram)
-	e, _ := NewEngine(prog, Options{MaxRounds: 4})
+	e, _ := NewEngine(prog, WithMaxRounds(4))
 	e.Assert(Fact{Pred: "p", Args: []any{"a"}})
 	err := e.Run()
 	var be *BudgetExceededError

@@ -1,0 +1,102 @@
+package datalog
+
+// Compatibility coverage for the pre-redesign construction surface: the
+// Options struct and NewEngineWith must keep compiling and behaving exactly
+// like the functional options that replaced them. Also pins down the
+// defensive-copy contract of Facts/FactsN, which used to alias the store.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestNewEngineWithCompat is the proof the deprecated constructor still
+// works: a hand-built Options struct drives the same chase as the
+// equivalent With* chain.
+func TestNewEngineWithCompat(t *testing.T) {
+	prog := MustParse(statsProgram)
+	legacy, err := NewEngineWith(prog, Options{Parallel: 1, MaxRounds: 50, Stats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.AssertAll(statsEDB())
+	if err := legacy.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	modern := statsEngine(t, WithParallel(1), WithMaxRounds(50), WithStats())
+	if err := modern.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := legacy.NumFacts("path"), modern.NumFacts("path"); got != want {
+		t.Errorf("legacy constructor derived %d path facts, modern %d", got, want)
+	}
+	if legacy.Stats() == nil {
+		t.Error("Options.Stats did not enable collection through NewEngineWith")
+	}
+	if !reflect.DeepEqual(legacy.Facts("path"), modern.Facts("path")) {
+		t.Error("legacy and modern engines disagree on the fact set")
+	}
+}
+
+// TestWithOptionsBridge: a wholesale Options struct composes with later
+// functional options, later ones winning.
+func TestWithOptionsBridge(t *testing.T) {
+	e, err := NewEngine(MustParse(statsProgram),
+		WithOptions(Options{NoIndex: true, MaxRounds: 1}),
+		WithMaxRounds(50), // overrides the struct's field
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AssertAll(statsEDB())
+	if err := e.Run(); err != nil {
+		t.Fatalf("MaxRounds override did not apply: %v", err)
+	}
+	if e.IndexBytes() != 0 {
+		t.Errorf("NoIndex from the bridged struct ignored: %d index bytes", e.IndexBytes())
+	}
+}
+
+// TestFactsDefensiveCopy: mutating what Facts/FactsN return must not reach
+// the engine's store or its indexes.
+func TestFactsDefensiveCopy(t *testing.T) {
+	e := statsEngine(t)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	before := e.NumFacts("path")
+
+	fs := e.Facts("path")
+	if len(fs) == 0 {
+		t.Fatal("no path facts")
+	}
+	orig := Fact{Pred: fs[0].Pred, Args: append([]any(nil), fs[0].Args...)}
+	fs[0].Pred = "corrupted"
+	fs[0].Args[0] = "clobbered"
+
+	if !e.Has(orig) {
+		t.Error("mutating Facts result reached the store: original fact gone")
+	}
+	if got := e.Facts("path"); !reflect.DeepEqual(got[0], orig) && !e.Has(orig) {
+		t.Errorf("store changed after caller mutation: %v", got[0])
+	}
+	if e.NumFacts("path") != before {
+		t.Errorf("fact count changed: %d -> %d", before, e.NumFacts("path"))
+	}
+	// Indexed lookups still see the uncorrupted argument.
+	if got := e.Match("path", orig.Args[0], nil); len(got) == 0 {
+		t.Errorf("Match(path, %v, _) empty after caller mutation", orig.Args[0])
+	}
+
+	page := e.FactsN("path", 2)
+	if len(page) != 2 {
+		t.Fatalf("FactsN(2) returned %d facts", len(page))
+	}
+	keep := Fact{Pred: page[1].Pred, Args: append([]any(nil), page[1].Args...)}
+	page[1].Args[0] = "clobbered too"
+	if !e.Has(keep) {
+		t.Error("mutating FactsN result reached the store")
+	}
+}

@@ -25,9 +25,9 @@ reach(X, Y), own(Y, Z, _), X != Z -> reach(X, Z).
 own(X, Y, W), not reach(Y, X) -> oneway(X, Y).
 `
 
-func closureEngine(t *testing.T, opts Options) *Engine {
+func closureEngine(t *testing.T, opts ...Option) *Engine {
 	t.Helper()
-	e, err := NewEngine(MustParse(closureProgram), opts)
+	e, err := NewEngine(MustParse(closureProgram), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,11 +38,11 @@ func closureEngine(t *testing.T, opts Options) *Engine {
 // TestParallelChaseWorkers runs the worker-pool path (Parallel well above
 // GOMAXPROCS) and cross-checks the result against the sequential path.
 func TestParallelChaseWorkers(t *testing.T) {
-	seq := closureEngine(t, Options{Parallel: 1})
+	seq := closureEngine(t, WithParallel(1))
 	if err := seq.Run(); err != nil {
 		t.Fatal(err)
 	}
-	par := closureEngine(t, Options{Parallel: 8})
+	par := closureEngine(t, WithParallel(8))
 	if err := par.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestParallelChaseWorkers(t *testing.T) {
 // Match patterns that trigger lazy index builds — from many goroutines at
 // once. Under -race this verifies the double-checked index publication.
 func TestConcurrentReadsAfterRun(t *testing.T) {
-	e := closureEngine(t, Options{Parallel: 4})
+	e := closureEngine(t, WithParallel(4))
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestConcurrentEngineRuns(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			e, err := NewEngine(MustParse(closureProgram), Options{Parallel: 2})
+			e, err := NewEngine(MustParse(closureProgram), WithParallel(2))
 			if err != nil {
 				t.Error(err)
 				return
@@ -125,7 +125,7 @@ func TestConcurrentEngineRuns(t *testing.T) {
 // site of the parallel chase and verifies the run stops with a cancellation
 // trip, the partial state stays readable, and the engine recovers on re-run.
 func TestCancelAtMergePoint(t *testing.T) {
-	e := closureEngine(t, Options{Parallel: 4, Budget: Budget{CheckEvery: 1}})
+	e := closureEngine(t, WithParallel(4), WithBudget(Budget{CheckEvery: 1}))
 	ctx, cancel := context.WithCancel(context.Background())
 	var merges atomic.Int64
 	faultinject.Set(faultinject.SiteDatalogMerge, func() {
@@ -153,7 +153,7 @@ func TestCancelAtMergePoint(t *testing.T) {
 	if err := e.RunContext(context.Background()); err != nil {
 		t.Fatalf("re-run after cancellation: %v", err)
 	}
-	want := closureEngine(t, Options{Parallel: 1})
+	want := closureEngine(t, WithParallel(1))
 	if err := want.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestCancelAtMergePoint(t *testing.T) {
 // TestDeadlineMidChase cancels by deadline while rounds are stretched at the
 // round boundary, under the parallel configuration.
 func TestDeadlineMidChase(t *testing.T) {
-	e := closureEngine(t, Options{Parallel: 4, Budget: Budget{CheckEvery: 1}})
+	e := closureEngine(t, WithParallel(4), WithBudget(Budget{CheckEvery: 1}))
 	faultinject.Set(faultinject.SiteDatalogRound, func() { time.Sleep(20 * time.Millisecond) })
 	t.Cleanup(faultinject.Reset)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
@@ -181,7 +181,7 @@ func TestDeadlineMidChase(t *testing.T) {
 // sequential contract: a panic inside a builtin reaches the Run caller.
 func TestWorkerPanicPropagates(t *testing.T) {
 	prog := MustParse(`own(X, Y, W), V = #boom(W) -> p(X, V).`)
-	e, err := NewEngine(prog, Options{Parallel: 4})
+	e, err := NewEngine(prog, WithParallel(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestWorkerPanicPropagates(t *testing.T) {
 // TestIndexMemoryBudget trips LimitIndexMemory on a tiny index budget and
 // verifies the error names the limit and remediation works (NoIndex mode).
 func TestIndexMemoryBudget(t *testing.T) {
-	e := closureEngine(t, Options{Budget: Budget{MaxIndexBytes: 64}})
+	e := closureEngine(t, WithBudget(Budget{MaxIndexBytes: 64}))
 	err := e.Run()
 	var be *BudgetExceededError
 	if !errors.As(err, &be) || be.Limit != LimitIndexMemory {
@@ -209,7 +209,7 @@ func TestIndexMemoryBudget(t *testing.T) {
 	}
 
 	// Scan mode never builds indexes, so the same budget passes.
-	noidx := closureEngine(t, Options{NoIndex: true, Budget: Budget{MaxIndexBytes: 64}})
+	noidx := closureEngine(t, WithNoIndex(), WithBudget(Budget{MaxIndexBytes: 64}))
 	if err := noidx.Run(); err != nil {
 		t.Fatalf("NoIndex run tripped: %v", err)
 	}

@@ -175,11 +175,11 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 	const cases = 240
 	configs := []struct {
 		name string
-		opts Options
+		opts []Option
 	}{
-		{"indexed-seq", Options{Parallel: 1}},
-		{"indexed-par4", Options{Parallel: 4}},
-		{"noindex", Options{Parallel: 1, NoIndex: true}},
+		{"indexed-seq", []Option{WithParallel(1)}},
+		{"indexed-par4", []Option{WithParallel(4)}},
+		{"noindex", []Option{WithParallel(1), WithNoIndex()}},
 	}
 	for c := 0; c < cases; c++ {
 		seed := int64(7000 + c)
@@ -205,7 +205,7 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 		want := ref.factSet(preds)
 
 		for _, cfg := range configs {
-			e, err := NewEngine(prog, cfg.opts)
+			e, err := NewEngine(prog, cfg.opts...)
 			if err != nil {
 				t.Fatalf("seed %d [%s]: NewEngine: %v", seed, cfg.name, err)
 			}
@@ -239,8 +239,12 @@ ccand(X, Y), X != Y -> control(X, Y).
 		edb := randomEDB(rand.New(rand.NewSource(seed)))
 
 		var want []string
-		for i, opts := range []Options{{Parallel: 1}, {Parallel: 4}, {Parallel: 1, NoIndex: true}} {
-			e, err := NewEngine(p, opts)
+		for i, opts := range [][]Option{
+			{WithParallel(1)},
+			{WithParallel(4)},
+			{WithParallel(1), WithNoIndex()},
+		} {
+			e, err := NewEngine(p, opts...)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vadalink/internal/faultinject"
 )
@@ -67,6 +68,14 @@ type Options struct {
 	// pre-index baseline, kept for the BenchmarkChase ablation and the
 	// differential test harness.
 	NoIndex bool
+
+	// Stats enables ChaseStats collection during Run (see WithStats). When
+	// false the engine pays only a nil check per chase job.
+	Stats bool
+
+	// Hook receives chase lifecycle events (see Hook and WithHook). The
+	// zero Hook is inert.
+	Hook Hook
 }
 
 // Derivation explains one derived fact: the rule that fired and the premises
@@ -105,7 +114,13 @@ type Engine struct {
 	stopped      atomic.Bool
 	stopErr      *BudgetExceededError
 	derivedCount int
+	dupCount     int // emissions absorbed as already-known facts
 	curStratum   int
+
+	// stats is the live collector of the current Run (nil when Options.Stats
+	// is off); lastStats is the frozen report of the last Run.
+	stats     *statsCollector
+	lastStats *ChaseStats
 
 	// indexBytes is the estimated memory of all positional indexes, accrued
 	// atomically because chase workers may build indexes lazily while
@@ -215,20 +230,21 @@ func (r *relation) insert(f Fact) (bool, int) {
 }
 
 // ensureIndex builds the positional index for pos if missing, returning the
-// estimated bytes it added. Safe for concurrent callers: the build is
-// double-checked under mu and published through the built mask, so parallel
-// chase workers and concurrent Match/Query calls race only on the mutex.
-func (r *relation) ensureIndex(pos int) int {
+// estimated bytes it added and whether this call performed the build. Safe
+// for concurrent callers: the build is double-checked under mu and published
+// through the built mask, so parallel chase workers and concurrent
+// Match/Query calls race only on the mutex.
+func (r *relation) ensureIndex(pos int) (int, bool) {
 	if pos < 0 || pos >= len(r.index) || pos >= 64 {
-		return 0
+		return 0, false
 	}
 	if r.hasIndex(pos) {
-		return 0
+		return 0, false
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.built.Load()&(1<<uint(pos)) != 0 {
-		return 0
+		return 0, false
 	}
 	bytes := 0
 	m := make(map[string][]int, len(r.facts))
@@ -246,7 +262,7 @@ func (r *relation) ensureIndex(pos int) int {
 	}
 	r.index[pos] = m
 	r.built.Store(r.built.Load() | 1<<uint(pos))
-	return bytes
+	return bytes, true
 }
 
 func (r *relation) bucket(pos int, key string) []int {
@@ -283,9 +299,20 @@ type aggGroup struct {
 	premKeys map[string]bool
 }
 
-// NewEngine prepares a program for evaluation. It returns an error if a rule
-// is invalid or negation is not stratifiable.
-func NewEngine(prog *Program, opts Options) (*Engine, error) {
+// NewEngine prepares a program for evaluation, configured by functional
+// options (WithBudget, WithParallel, WithStats, ...). It returns an error if
+// a rule is invalid or negation is not stratifiable.
+func NewEngine(prog *Program, opts ...Option) (*Engine, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return newEngine(prog, o)
+}
+
+// newEngine is the construction path shared by NewEngine and the deprecated
+// NewEngineWith shim.
+func newEngine(prog *Program, opts Options) (*Engine, error) {
 	if opts.MinAggDelta == 0 {
 		opts.MinAggDelta = 1e-9
 	}
@@ -370,13 +397,28 @@ func (e *Engine) addIndexBytes(bytes int) {
 // IndexBytes reports the estimated memory held by the positional indexes.
 func (e *Engine) IndexBytes() int64 { return e.indexBytes.Load() }
 
-// Facts returns a copy of all facts of a predicate, sorted canonically.
+// cloneFacts deep-copies a fact slice down to the argument slices, so the
+// result shares no mutable storage with the engine. The argument values
+// themselves are immutable (strings, numbers, Null/Skolem values).
+func cloneFacts(fs []Fact) []Fact {
+	out := make([]Fact, len(fs))
+	for i, f := range fs {
+		args := make([]any, len(f.Args))
+		copy(args, f.Args)
+		out[i] = Fact{Pred: f.Pred, Args: args}
+	}
+	return out
+}
+
+// Facts returns all facts of a predicate, sorted canonically. The result is
+// a deep copy: mutating the returned facts (or their Args) cannot corrupt
+// the engine's store or its indexes.
 func (e *Engine) Facts(pred string) []Fact {
 	r, ok := e.rels[pred]
 	if !ok {
 		return nil
 	}
-	out := append([]Fact(nil), r.facts...)
+	out := cloneFacts(r.facts)
 	SortFacts(out)
 	return out
 }
@@ -384,7 +426,8 @@ func (e *Engine) Facts(pred string) []Fact {
 // FactsN returns up to n facts of a predicate, taken in derivation order
 // and then sorted. Unlike Facts it never sorts the whole relation, so a
 // deadline-truncated caller serving a small page of a huge partial result
-// does not spend the latency its budget just saved. n <= 0 means all.
+// does not spend the latency its budget just saved. n <= 0 means all. Like
+// Facts, the result is a deep copy that cannot corrupt the store.
 func (e *Engine) FactsN(pred string, n int) []Fact {
 	r, ok := e.rels[pred]
 	if !ok {
@@ -394,7 +437,7 @@ func (e *Engine) FactsN(pred string, n int) []Fact {
 	if n > 0 && len(fs) > n {
 		fs = fs[:n]
 	}
-	out := append([]Fact(nil), fs...)
+	out := cloneFacts(fs)
 	SortFacts(out)
 	return out
 }
@@ -485,7 +528,13 @@ func (e *Engine) chooseIndex(r *relation, pattern []any) (int, string, bool) {
 		return bestPos, bestKey, true
 	}
 	if firstBound >= 0 {
-		e.addIndexBytes(r.ensureIndex(firstBound))
+		bytes, built := r.ensureIndex(firstBound)
+		e.addIndexBytes(bytes)
+		if built {
+			if st := e.stats; st != nil {
+				st.indexBuilds.Add(1)
+			}
+		}
 		if r.hasIndex(firstBound) {
 			return firstBound, firstKey, true
 		}
@@ -663,6 +712,17 @@ func (e *Engine) RunContext(ctx context.Context) error {
 	e.resetStop()
 	e.rounds = 0
 	e.derivedCount = 0
+	e.dupCount = 0
+	e.stats = nil
+	if e.opts.Stats {
+		labels := make([]string, len(e.ruleMeta))
+		for i := range e.ruleMeta {
+			labels[i] = e.ruleMeta[i].label
+		}
+		e.stats = newStatsCollector(labels)
+		// Freeze the report on every return path, including budget trips.
+		defer func() { e.lastStats = e.stats.snapshot(e) }()
+	}
 	for si, stratum := range e.strata {
 		e.curStratum = si
 		if err := e.runStratum(stratum); err != nil {
@@ -727,7 +787,7 @@ func (e *Engine) runStratum(ruleIdxs []int) error {
 		fullJobs = append(fullJobs, chaseJob{ri: ri, deltaLit: -1})
 	}
 	faultinject.Fire(faultinject.SiteDatalogRound)
-	delta, err := e.runRound(fullJobs)
+	delta, err := e.runRoundObserved(fullJobs)
 	if err != nil {
 		return err
 	}
@@ -766,13 +826,39 @@ func (e *Engine) runStratum(ruleIdxs []int) error {
 				}
 			}
 		}
-		delta, err = e.runRound(jobs)
+		delta, err = e.runRoundObserved(jobs)
 		if err != nil {
 			return err
 		}
 		e.rounds++
 	}
 	return nil
+}
+
+// runRoundObserved wraps runRound with the per-round statistics and the
+// RoundDone hook; with both off it is a direct call.
+func (e *Engine) runRoundObserved(jobs []chaseJob) (map[string][]Fact, error) {
+	if e.stats == nil && e.opts.Hook.RoundDone == nil {
+		return e.runRound(jobs)
+	}
+	round := e.rounds
+	t0 := time.Now()
+	delta, err := e.runRound(jobs)
+	elapsed := time.Since(t0)
+	newFacts := 0
+	for _, fs := range delta {
+		newFacts += len(fs)
+	}
+	if st := e.stats; st != nil {
+		st.perRound = append(st.perRound, RoundStats{
+			Round: round, Stratum: e.curStratum, Jobs: len(jobs),
+			NewFacts: newFacts, Nanos: int64(elapsed),
+		})
+	}
+	if fn := e.opts.Hook.RoundDone; fn != nil {
+		fn(round, e.curStratum, newFacts, elapsed)
+	}
+	return delta, err
 }
 
 // runRound evaluates one chase round's jobs and returns the delta of newly
@@ -822,6 +908,7 @@ func (e *Engine) runRound(jobs []chaseJob) (map[string][]Fact, error) {
 			isNew, bytes := e.rel(f.Pred).insert(f)
 			e.addIndexBytes(bytes)
 			if !isNew {
+				e.dupCount++
 				return
 			}
 			var premises []Fact
@@ -834,7 +921,11 @@ func (e *Engine) runRound(jobs []chaseJob) (map[string][]Fact, error) {
 		}
 		ec := e.newEvalCtx()
 		for _, j := range jobs {
-			if err := e.evalJob(ec, j, emit); err != nil {
+			jt := e.ruleStart(j.ri)
+			d0, dup0 := e.derivedCount, e.dupCount
+			err := e.evalJob(ec, j, emit)
+			e.ruleDone(j.ri, jt, e.derivedCount-d0, e.dupCount-dup0)
+			if err != nil {
 				return delta, err
 			}
 		}
@@ -859,7 +950,25 @@ func (e *Engine) runRound(jobs []chaseJob) (map[string][]Fact, error) {
 		}
 	}
 
+	// Per-job instrumentation slots, filled lock-free: each worker owns the
+	// slots of the jobs it runs, and the merge (single goroutine) folds them
+	// into the per-rule statistics together with the insert counts.
+	instr := e.instrumenting()
+	var jobNanos []int64
+	var jobDups []int
+	if instr {
+		jobNanos = make([]int64, len(jobs))
+		jobDups = make([]int, len(jobs))
+	}
+
 	workers := e.workerCount(len(parIdx))
+	var poolStart time.Time
+	if st := e.stats; st != nil {
+		if workers > st.workers {
+			st.workers = workers
+		}
+		poolStart = time.Now()
+	}
 	jobCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -874,7 +983,13 @@ func (e *Engine) runRound(jobs []chaseJob) (map[string][]Fact, error) {
 							panics[idx] = r
 						}
 					}()
-					errs[idx] = e.evalJobBuffered(ec, jobs[idx], &buffers[idx])
+					jt := e.ruleStart(jobs[idx].ri)
+					dups, err := e.evalJobBuffered(ec, jobs[idx], &buffers[idx])
+					errs[idx] = err
+					if instr {
+						jobNanos[idx] = int64(time.Since(jt))
+						jobDups[idx] = dups
+					}
 				}()
 			}
 		}()
@@ -884,13 +999,25 @@ func (e *Engine) runRound(jobs []chaseJob) (map[string][]Fact, error) {
 	}
 	close(jobCh)
 	wg.Wait()
+	if st := e.stats; st != nil {
+		st.parWallNanos += int64(time.Since(poolStart))
+		for _, idx := range parIdx {
+			st.parBusyNanos += jobNanos[idx]
+		}
+	}
 
 	// Aggregate rules evaluate here, after the workers, still against the
 	// frozen store: updateAgg mutates shared per-group state, so their order
 	// must be the deterministic job order.
 	ec := e.newEvalCtx()
 	for _, idx := range seqIdx {
-		errs[idx] = e.evalJobBuffered(ec, jobs[idx], &buffers[idx])
+		jt := e.ruleStart(jobs[idx].ri)
+		dups, err := e.evalJobBuffered(ec, jobs[idx], &buffers[idx])
+		errs[idx] = err
+		if instr {
+			jobNanos[idx] = int64(time.Since(jt))
+			jobDups[idx] = dups
+		}
 	}
 
 	// Re-panic worker panics on the calling goroutine, preserving the
@@ -905,13 +1032,21 @@ func (e *Engine) runRound(jobs []chaseJob) (map[string][]Fact, error) {
 	faultinject.Fire(faultinject.SiteDatalogMerge)
 	var firstErr error
 	for i := range jobs {
+		inserted, mergeDups := 0, 0
 		for _, p := range buffers[i] {
 			isNew, bytes := e.rel(p.f.Pred).insert(p.f)
 			e.addIndexBytes(bytes)
 			if !isNew {
+				mergeDups++
 				continue
 			}
+			inserted++
 			afterInsert(p.f, p.key, p.rule, p.premises)
+		}
+		if instr {
+			dups := jobDups[i] + mergeDups
+			e.dupCount += dups
+			e.ruleDoneNanos(jobs[i].ri, jobNanos[i], inserted, dups)
 		}
 		if errs[i] != nil && firstErr == nil {
 			firstErr = errs[i]
@@ -961,16 +1096,20 @@ func (e *Engine) evalJob(ec *evalCtx, j chaseJob, emit emitFn) error {
 // evalJobBuffered evaluates one job into its buffer: emissions deduplicate
 // against the frozen store and the job's own prior emissions, and premises
 // snapshot at emission time. It only reads shared engine state (except
-// aggregation state for aggregate jobs, which run single-threaded).
-func (e *Engine) evalJobBuffered(ec *evalCtx, j chaseJob, buf *[]pendingFact) error {
+// aggregation state for aggregate jobs, which run single-threaded). It
+// reports the number of emissions absorbed as duplicates.
+func (e *Engine) evalJobBuffered(ec *evalCtx, j chaseJob, buf *[]pendingFact) (int, error) {
 	seen := map[string]bool{}
+	dups := 0
 	maxFacts := e.opts.Budget.MaxFacts
 	emit := func(f Fact, ec *evalCtx) {
 		k := f.Key()
 		if seen[k] {
+			dups++
 			return
 		}
 		if r, ok := e.rels[f.Pred]; ok && r.keys[k] {
+			dups++
 			return
 		}
 		seen[k] = true
@@ -986,7 +1125,8 @@ func (e *Engine) evalJobBuffered(ec *evalCtx, j chaseJob, buf *[]pendingFact) er
 			e.trip(LimitFacts, maxFacts, nil)
 		}
 	}
-	return e.evalJob(ec, j, emit)
+	err := e.evalJob(ec, j, emit)
+	return dups, err
 }
 
 func (e *Engine) evalBody(ec *evalCtx, ri int, rule Rule, meta ruleMeta, pos int, binding map[Variable]any,
@@ -1293,7 +1433,11 @@ func (e *Engine) lookup(a Atom, binding map[Variable]any) []Fact {
 	if !ok {
 		return nil
 	}
+	st := e.stats
 	if e.opts.NoIndex {
+		if st != nil {
+			st.indexScans.Add(1)
+		}
 		return r.facts
 	}
 	bestPos, bestLen := -1, -1
@@ -1327,12 +1471,19 @@ func (e *Engine) lookup(a Atom, binding map[Variable]any) []Fact {
 		}
 	}
 	if bestPos == -1 && firstBound >= 0 {
-		e.addIndexBytes(r.ensureIndex(firstBound))
+		bytes, built := r.ensureIndex(firstBound)
+		e.addIndexBytes(bytes)
+		if built && st != nil {
+			st.indexBuilds.Add(1)
+		}
 		if r.hasIndex(firstBound) {
 			bestPos, bestKey = firstBound, firstKey
 		}
 	}
 	if bestPos >= 0 {
+		if st != nil {
+			st.indexHits.Add(1)
+		}
 		idxs := r.bucket(bestPos, bestKey)
 		if len(idxs) == 0 {
 			return nil
@@ -1342,6 +1493,9 @@ func (e *Engine) lookup(a Atom, binding map[Variable]any) []Fact {
 			out[j] = r.facts[i]
 		}
 		return out
+	}
+	if st != nil {
+		st.indexScans.Add(1)
 	}
 	return r.facts
 }

@@ -5,17 +5,13 @@ import (
 	"testing"
 )
 
-func run(t *testing.T, src string, edb []Fact, opts ...Options) *Engine {
+func run(t *testing.T, src string, edb []Fact, opts ...Option) *Engine {
 	t.Helper()
 	prog, err := Parse(src)
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	var o Options
-	if len(opts) > 0 {
-		o = opts[0]
-	}
-	e, err := NewEngine(prog, o)
+	e, err := NewEngine(prog, opts...)
 	if err != nil {
 		t.Fatalf("new engine: %v", err)
 	}
@@ -297,7 +293,7 @@ func TestAggregationOnCycleTerminates(t *testing.T) {
 		{Pred: "own", Args: []any{"a", "b", 0.5}},
 		{Pred: "own", Args: []any{"b", "a", 0.5}},
 	}
-	e := run(t, src, edb, Options{MinAggDelta: 1e-6})
+	e := run(t, src, edb, WithMinAggDelta(1e-6))
 	finals := e.MaxByGroup("accown", 2, 0, 1)
 	// Φ(a,a) limit: 0.25 + 0.25² + ... = 1/3 ≈ 0.3333 (within epsilon).
 	for _, f := range finals {
@@ -334,7 +330,7 @@ func TestUnstratifiableProgramRejected(t *testing.T) {
 		p(X), not q(X) -> q(X).
 	`
 	prog := MustParse(src)
-	if _, err := NewEngine(prog, Options{}); err == nil {
+	if _, err := NewEngine(prog); err == nil {
 		t.Error("recursion through negation accepted, want error")
 	}
 }
@@ -344,7 +340,7 @@ func TestUnsafeNegationRejected(t *testing.T) {
 		p(X), not q(Y) -> r(X).
 	`
 	prog := MustParse(src)
-	if _, err := NewEngine(prog, Options{}); err == nil {
+	if _, err := NewEngine(prog); err == nil {
 		t.Error("unsafe negation accepted, want error")
 	}
 }
@@ -354,7 +350,7 @@ func TestBuiltinRegistration(t *testing.T) {
 		in(X), H = #bucket(X) -> out(X, H).
 	`
 	prog := MustParse(src)
-	e, err := NewEngine(prog, Options{})
+	e, err := NewEngine(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +374,7 @@ func TestBuiltinRegistration(t *testing.T) {
 func TestUnknownBuiltinErrors(t *testing.T) {
 	src := `in(X), H = #nosuch(X) -> out(H).`
 	prog := MustParse(src)
-	e, _ := NewEngine(prog, Options{})
+	e, _ := NewEngine(prog)
 	e.Assert(Fact{Pred: "in", Args: []any{"a"}})
 	if err := e.Run(); err == nil {
 		t.Error("unknown builtin accepted, want error")

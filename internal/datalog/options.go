@@ -1,0 +1,88 @@
+package datalog
+
+// Option configures an Engine at construction. Build engines as
+//
+//	e, err := NewEngine(prog, WithBudget(b), WithParallel(4), WithStats())
+//
+// Options compose left to right; later options win. The Options struct
+// behind them remains exported as the compatibility carrier for code written
+// against the pre-option constructor — bridge it with WithOptions or the
+// deprecated NewEngineWith.
+type Option func(*Options)
+
+// WithOptions replaces the whole configuration with a hand-built Options
+// struct. It is the bridge for legacy call sites: place it first so later
+// functional options still apply on top.
+func WithOptions(opts Options) Option {
+	return func(o *Options) { *o = opts }
+}
+
+// WithMinAggDelta sets the minimum monotonic-aggregate improvement that
+// triggers a new derivation (termination epsilon on cyclic inputs).
+func WithMinAggDelta(eps float64) Option {
+	return func(o *Options) { o.MinAggDelta = eps }
+}
+
+// WithMaxRounds bounds the semi-naive rounds of one Run.
+func WithMaxRounds(n int) Option {
+	return func(o *Options) { o.MaxRounds = n }
+}
+
+// WithBudget bounds the resources of one Run (derived facts, delta queue,
+// index memory, cancellation cadence).
+func WithBudget(b Budget) Option {
+	return func(o *Options) { o.Budget = b }
+}
+
+// WithTrace installs a per-derivation trace callback (debugging aid).
+func WithTrace(fn func(string)) Option {
+	return func(o *Options) { o.TraceFn = fn }
+}
+
+// WithNaive disables semi-naive delta restriction (ablation baseline).
+func WithNaive() Option {
+	return func(o *Options) { o.Naive = true }
+}
+
+// WithProvenance records the first derivation of every fact, enabling
+// Explain and ExplainTree.
+func WithProvenance() Option {
+	return func(o *Options) { o.Provenance = true }
+}
+
+// WithParallel sets the chase worker count: 0 means GOMAXPROCS, 1 forces
+// the sequential path.
+func WithParallel(n int) Option {
+	return func(o *Options) { o.Parallel = n }
+}
+
+// WithNoIndex disables the positional hash indexes (scan-mode ablation
+// baseline).
+func WithNoIndex() Option {
+	return func(o *Options) { o.NoIndex = true }
+}
+
+// WithStats enables ChaseStats collection: per-rule firings, derivations,
+// duplicates and evaluation time, per-round deltas, index hit/scan counts
+// and worker-pool utilization, readable through Engine.Stats after a Run.
+// Collection costs a few percent of chase time; engines built without it
+// pay nothing.
+func WithStats() Option {
+	return func(o *Options) { o.Stats = true }
+}
+
+// WithHook installs chase lifecycle callbacks (see Hook) — the tracing seam
+// for progress reporting and test instrumentation.
+func WithHook(h Hook) Option {
+	return func(o *Options) { o.Hook = h }
+}
+
+// NewEngineWith prepares a program for evaluation with a hand-built Options
+// struct.
+//
+// Deprecated: use NewEngine with functional options (WithBudget,
+// WithParallel, WithStats, ...); wholesale Options structs still bridge in
+// through WithOptions. Kept so pre-redesign call sites compile unchanged.
+func NewEngineWith(prog *Program, opts Options) (*Engine, error) {
+	return newEngine(prog, opts)
+}

@@ -43,7 +43,7 @@ func TestClosureMatchesWarshallProperty(t *testing.T) {
 			edb = append(edb, Fact{Pred: "edge", Args: []any{int64(a), int64(b)}})
 		}
 		want := refClosure(n, edges)
-		e, err := NewEngine(MustParse(src), Options{})
+		e, err := NewEngine(MustParse(src))
 		if err != nil {
 			return false
 		}
@@ -84,7 +84,11 @@ func TestNaiveEqualsSemiNaiveProperty(t *testing.T) {
 			edb = append(edb, Fact{Pred: "edge", Args: []any{int64(r.Intn(6)), int64(r.Intn(6))}})
 		}
 		run := func(naive bool) (int, int) {
-			e, _ := NewEngine(MustParse(src), Options{Naive: naive})
+			var opts []Option
+			if naive {
+				opts = append(opts, WithNaive())
+			}
+			e, _ := NewEngine(MustParse(src), opts...)
 			e.AssertAll(edb)
 			if err := e.Run(); err != nil {
 				return -1, -1
@@ -101,7 +105,7 @@ func TestNaiveEqualsSemiNaiveProperty(t *testing.T) {
 }
 
 func TestMaxByGroupSelectsMaxima(t *testing.T) {
-	e, _ := NewEngine(MustParse(`a(X, V) -> b(X, V).`), Options{})
+	e, _ := NewEngine(MustParse(`a(X, V) -> b(X, V).`))
 	e.AssertAll([]Fact{
 		{Pred: "a", Args: []any{"g1", 1.0}},
 		{Pred: "a", Args: []any{"g1", 3.0}},
@@ -124,7 +128,7 @@ func TestMaxByGroupSelectsMaxima(t *testing.T) {
 }
 
 func TestEmptyProgramAndEDBOnly(t *testing.T) {
-	e, err := NewEngine(&Program{}, Options{})
+	e, err := NewEngine(&Program{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +142,7 @@ func TestEmptyProgramAndEDBOnly(t *testing.T) {
 }
 
 func TestArityMismatchDoesNotUnify(t *testing.T) {
-	e, _ := NewEngine(MustParse(`a(X, Y) -> b(X, Y).`), Options{})
+	e, _ := NewEngine(MustParse(`a(X, Y) -> b(X, Y).`))
 	e.Assert(Fact{Pred: "a", Args: []any{int64(1)}})           // arity 1
 	e.Assert(Fact{Pred: "a", Args: []any{int64(1), int64(2)}}) // arity 2
 	if err := e.Run(); err != nil {
@@ -150,7 +154,7 @@ func TestArityMismatchDoesNotUnify(t *testing.T) {
 }
 
 func TestStringComparisons(t *testing.T) {
-	e, _ := NewEngine(MustParse(`a(X), X != "skip" -> b(X).`), Options{})
+	e, _ := NewEngine(MustParse(`a(X), X != "skip" -> b(X).`))
 	e.AssertAll([]Fact{
 		{Pred: "a", Args: []any{"keep"}},
 		{Pred: "a", Args: []any{"skip"}},
@@ -164,7 +168,7 @@ func TestStringComparisons(t *testing.T) {
 }
 
 func TestAssertDuplicateFactIdempotent(t *testing.T) {
-	e, _ := NewEngine(&Program{}, Options{})
+	e, _ := NewEngine(&Program{})
 	f := Fact{Pred: "a", Args: []any{int64(1), "x"}}
 	if !e.Assert(f) {
 		t.Error("first assert returned false")
@@ -253,7 +257,7 @@ func TestQueryDeduplicates(t *testing.T) {
 // run2 mirrors the run helper from engine_test without Options.
 func run2(t *testing.T, src string, edb []Fact) *Engine {
 	t.Helper()
-	e, err := NewEngine(MustParse(src), Options{})
+	e, err := NewEngine(MustParse(src))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,7 +7,7 @@ import (
 
 func provEngine(t *testing.T, src string, edb []Fact) *Engine {
 	t.Helper()
-	e, err := NewEngine(MustParse(src), Options{Provenance: true})
+	e, err := NewEngine(MustParse(src), WithProvenance())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestExplainCycleDoesNotLoop(t *testing.T) {
 }
 
 func TestProvenanceOffByDefault(t *testing.T) {
-	e, _ := NewEngine(MustParse(`edge(X, Y) -> path(X, Y).`), Options{})
+	e, _ := NewEngine(MustParse(`edge(X, Y) -> path(X, Y).`))
 	e.Assert(Fact{Pred: "edge", Args: []any{"a", "b"}})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,234 @@
+package datalog
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Hook receives chase lifecycle events — the tracing seam of the engine.
+// Every field is optional; a nil callback is skipped. With Options.Parallel
+// greater than one, RuleStart and BudgetTrip may fire concurrently from
+// several chase workers, so the callbacks must be safe for concurrent use;
+// RuleDone and RoundDone always fire on the goroutine that called Run.
+//
+// Hooks run inline with the chase: a slow callback slows evaluation. They
+// exist for tracing, progress reporting, and test instrumentation — keep
+// them cheap.
+type Hook struct {
+	// RuleStart fires when a rule instantiation (one chase job) starts
+	// evaluating. rule is the rule's label and text, round the semi-naive
+	// round index.
+	RuleStart func(rule string, round int)
+
+	// RuleDone fires after a job's derivations have been applied to the
+	// store: derived is the number of new facts it produced, duplicates the
+	// emissions absorbed as already known, elapsed its evaluation time.
+	RuleDone func(rule string, round int, derived, duplicates int, elapsed time.Duration)
+
+	// RoundDone fires after each semi-naive round with the number of new
+	// facts in the round's delta.
+	RoundDone func(round, stratum, newFacts int, elapsed time.Duration)
+
+	// BudgetTrip fires once per Run, when the first resource limit trips.
+	BudgetTrip func(err *BudgetExceededError)
+}
+
+// active reports whether any callback is set.
+func (h Hook) active() bool {
+	return h.RuleStart != nil || h.RuleDone != nil || h.RoundDone != nil || h.BudgetTrip != nil
+}
+
+// RuleStats aggregates what one rule did during a Run.
+type RuleStats struct {
+	// Rule is the rule's label and text.
+	Rule string `json:"rule"`
+	// Firings counts the chase jobs that evaluated the rule (full-store
+	// evaluations in round 0, delta-restricted evaluations afterwards).
+	Firings int `json:"firings"`
+	// Derived counts the new facts the rule's jobs inserted.
+	Derived int `json:"derived"`
+	// Duplicates counts head instantiations absorbed as already known.
+	Duplicates int `json:"duplicates"`
+	// EvalNanos is the total evaluation time of the rule's jobs. Under a
+	// parallel chase jobs overlap, so the per-rule times can sum to more
+	// than the wall clock.
+	EvalNanos int64 `json:"evalNanos"`
+}
+
+// RoundStats describes one semi-naive round.
+type RoundStats struct {
+	Round   int `json:"round"`
+	Stratum int `json:"stratum"`
+	// Jobs is the number of rule instantiations the round evaluated.
+	Jobs int `json:"jobs"`
+	// NewFacts is the size of the round's delta.
+	NewFacts int `json:"newFacts"`
+	// Nanos is the round's wall-clock time.
+	Nanos int64 `json:"nanos"`
+}
+
+// ChaseStats is the evaluation report of one Run, collected when the engine
+// is built with WithStats. It is the data source for rule-ordering and
+// caching decisions and for the /v1/metrics endpoint of the reasoning API.
+type ChaseStats struct {
+	// Rounds is the number of semi-naive rounds evaluated.
+	Rounds int `json:"rounds"`
+	// Derived and Duplicates count new facts inserted and emissions
+	// absorbed as already known, across all rules.
+	Derived    int `json:"derived"`
+	Duplicates int `json:"duplicates"`
+	// TotalNanos is the wall-clock time of the Run.
+	TotalNanos int64 `json:"totalNanos"`
+
+	// IndexHits counts lookups served from a positional hash index;
+	// IndexScans counts lookups that fell back to scanning the full
+	// relation (unbound atoms, NoIndex mode, or unindexable positions);
+	// IndexBuilds counts lazy index constructions; IndexBytes is the
+	// estimated index memory at the end of the Run.
+	IndexHits   int64 `json:"indexHits"`
+	IndexScans  int64 `json:"indexScans"`
+	IndexBuilds int64 `json:"indexBuilds"`
+	IndexBytes  int64 `json:"indexBytes"`
+
+	// Workers is the largest worker-pool size any round used (1 for a
+	// sequential chase). WorkerBusyNanos sums the evaluation time spent on
+	// pool workers; Utilization is WorkerBusyNanos over the pool's
+	// wall-clock capacity (workers × time the pool was running), 1 for a
+	// fully sequential Run.
+	Workers         int     `json:"workers"`
+	WorkerBusyNanos int64   `json:"workerBusyNanos"`
+	Utilization     float64 `json:"utilization"`
+
+	// Truncated is set when a budget limit stopped the Run; Limit names it.
+	Truncated bool  `json:"truncated,omitempty"`
+	Limit     Limit `json:"limit,omitempty"`
+
+	// Rules holds one entry per program rule, in program order.
+	Rules []RuleStats `json:"rules"`
+	// PerRound holds one entry per semi-naive round, in evaluation order.
+	PerRound []RoundStats `json:"perRound"`
+}
+
+// TopRules returns the indices of the n most expensive rules by EvalNanos,
+// most expensive first — the shortlist a rule-ordering optimizer (or a human
+// reading /v1/metrics) starts from.
+func (s *ChaseStats) TopRules(n int) []int {
+	idx := make([]int, len(s.Rules))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by descending EvalNanos: rule counts are small.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && s.Rules[idx[j]].EvalNanos > s.Rules[idx[j-1]].EvalNanos; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	if n > 0 && len(idx) > n {
+		idx = idx[:n]
+	}
+	return idx
+}
+
+// statsCollector is the engine's per-Run mutable statistics state. The
+// per-rule and per-round slices are written only by the goroutine driving
+// the chase (workers report through job-indexed slots merged there); the
+// index counters are atomics because chase workers probe indexes
+// concurrently.
+type statsCollector struct {
+	start    time.Time
+	rules    []RuleStats
+	perRound []RoundStats
+
+	indexHits   atomic.Int64
+	indexScans  atomic.Int64
+	indexBuilds atomic.Int64
+
+	workers      int
+	parWallNanos int64
+	parBusyNanos int64
+}
+
+func newStatsCollector(labels []string) *statsCollector {
+	st := &statsCollector{start: time.Now(), rules: make([]RuleStats, len(labels))}
+	for i, l := range labels {
+		st.rules[i].Rule = l
+	}
+	return st
+}
+
+// snapshot freezes the collector into an immutable report.
+func (st *statsCollector) snapshot(e *Engine) *ChaseStats {
+	out := &ChaseStats{
+		Rounds:          e.rounds,
+		Derived:         e.derivedCount,
+		Duplicates:      e.dupCount,
+		TotalNanos:      int64(time.Since(st.start)),
+		IndexHits:       st.indexHits.Load(),
+		IndexScans:      st.indexScans.Load(),
+		IndexBuilds:     st.indexBuilds.Load(),
+		IndexBytes:      e.indexBytes.Load(),
+		Workers:         st.workers,
+		WorkerBusyNanos: st.parBusyNanos,
+		Utilization:     1,
+		Rules:           append([]RuleStats(nil), st.rules...),
+		PerRound:        append([]RoundStats(nil), st.perRound...),
+	}
+	if out.Workers < 1 {
+		out.Workers = 1
+	}
+	if st.parWallNanos > 0 && st.workers > 0 {
+		out.Utilization = float64(st.parBusyNanos) / (float64(st.workers) * float64(st.parWallNanos))
+	}
+	if se := e.stopError(); se != nil {
+		out.Truncated = true
+		out.Limit = se.Limit
+	}
+	return out
+}
+
+// Stats returns the report of the last Run, or nil when the engine runs
+// without WithStats (or has not run yet). The report is a snapshot: later
+// Runs replace it, and reading it concurrently with the accessors is safe.
+func (e *Engine) Stats() *ChaseStats { return e.lastStats }
+
+// instrumenting reports whether the current Run collects per-job timings
+// (stats or rule hooks). Checked once per chase job, not on the hot path.
+func (e *Engine) instrumenting() bool {
+	return e.stats != nil || e.opts.Hook.RuleStart != nil || e.opts.Hook.RuleDone != nil
+}
+
+// ruleStart marks the start of one chase job; it returns the zero time when
+// the Run is uninstrumented, which ruleDone treats as "skip".
+func (e *Engine) ruleStart(ri int) time.Time {
+	if !e.instrumenting() {
+		return time.Time{}
+	}
+	if fn := e.opts.Hook.RuleStart; fn != nil {
+		fn(e.ruleMeta[ri].label, e.rounds)
+	}
+	return time.Now()
+}
+
+// ruleDone folds one finished chase job into the per-rule statistics and
+// fires the RuleDone hook. Called only on the goroutine driving the chase.
+func (e *Engine) ruleDone(ri int, t0 time.Time, derived, duplicates int) {
+	if t0.IsZero() {
+		return
+	}
+	e.ruleDoneNanos(ri, int64(time.Since(t0)), derived, duplicates)
+}
+
+// ruleDoneNanos is ruleDone for jobs whose duration was measured elsewhere
+// (parallel workers time their own jobs; the merge applies the result here).
+func (e *Engine) ruleDoneNanos(ri int, nanos int64, derived, duplicates int) {
+	if st := e.stats; st != nil {
+		rs := &st.rules[ri]
+		rs.Firings++
+		rs.Derived += derived
+		rs.Duplicates += duplicates
+		rs.EvalNanos += nanos
+	}
+	if fn := e.opts.Hook.RuleDone; fn != nil {
+		fn(e.ruleMeta[ri].label, e.rounds, derived, duplicates, time.Duration(nanos))
+	}
+}

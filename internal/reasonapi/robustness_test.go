@@ -141,7 +141,7 @@ func TestHandlerPanicRecovery(t *testing.T) {
 	}
 	var out struct {
 		Error     string `json:"error"`
-		RequestID string `json:"requestId"`
+		RequestID string `json:"requestID"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatalf("decoding panic response: %v", err)
@@ -154,7 +154,7 @@ func TestHandlerPanicRecovery(t *testing.T) {
 		t.Errorf("error = %q, want the panic value", out.Error)
 	}
 	if out.RequestID == "" {
-		t.Error("no requestId in panic response")
+		t.Error("no requestID in panic response")
 	}
 	if resp.Header.Get("X-Request-ID") == "" {
 		t.Error("no X-Request-ID header")

@@ -29,10 +29,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +80,20 @@ type Config struct {
 	// MaxBodyBytes caps request bodies on the POST endpoints.
 	// 0 means 1 MiB.
 	MaxBodyBytes int64
+
+	// DisableMetrics turns off the per-endpoint counters and the
+	// GET /v1/metrics endpoint (which then answers 404). Metrics are on by
+	// default: a handful of atomic adds per request.
+	DisableMetrics bool
+
+	// Pprof mounts net/http/pprof under /debug/pprof/ — opt-in, since the
+	// profiling endpoints expose internals and cost CPU while sampling.
+	Pprof bool
+
+	// Logger receives one structured access-log record per request
+	// (method, path, status, duration, request ID). nil disables access
+	// logging.
+	Logger *slog.Logger
 }
 
 func (c Config) timeout() time.Duration {
@@ -115,6 +133,14 @@ type Server struct {
 	augMu sync.Mutex
 
 	reqSeq atomic.Uint64
+
+	// metrics is the per-endpoint counter registry (nil when
+	// Config.DisableMetrics); metricsOnce builds it on the first Handler
+	// call. lastChase is the statistics report of the most recent
+	// request-triggered chase, served in /v1/metrics.
+	metrics     *serverMetrics
+	metricsOnce sync.Once
+	lastChase   atomic.Pointer[datalog.ChaseStats]
 }
 
 // NewServer wraps a graph with the default governance (30s request
@@ -127,78 +153,212 @@ func NewServerWith(g *pg.Graph, cfg Config) *Server {
 }
 
 // engineOptions is the budgeted engine configuration for request-triggered
-// chases.
-func (s *Server) engineOptions() datalog.Options {
-	return datalog.Options{Budget: s.cfg.Budget, MaxRounds: s.cfg.MaxRounds}
+// chases. Stats collection is on so /v1/reason and /v1/metrics can report
+// what the chase did.
+func (s *Server) engineOptions() []datalog.Option {
+	return []datalog.Option{
+		datalog.WithBudget(s.cfg.Budget),
+		datalog.WithMaxRounds(s.cfg.MaxRounds),
+		datalog.WithStats(),
+	}
+}
+
+// recordChase publishes a chase report as the "last chase" of /v1/metrics.
+func (s *Server) recordChase(st *datalog.ChaseStats) {
+	if st != nil {
+		s.lastChase.Store(st)
+	}
 }
 
 // Handler returns the HTTP handler with all routes mounted, wrapped in the
-// governance middleware (request IDs, panic recovery, per-request deadline).
+// governance middleware (request IDs, metrics, access logs, panic recovery,
+// per-request deadline).
 func (s *Server) Handler() http.Handler {
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"GET /v1/stats", s.handleStats},
+		{"GET /v1/control", s.handleControl},
+		{"GET /v1/control/pairs", s.handleControlPairs},
+		{"GET /v1/closelinks", s.handleCloseLinks},
+		{"GET /v1/accumulated", s.handleAccumulated},
+		{"POST /v1/augment", s.handleAugment},
+		{"POST /v1/reason", s.handleReason},
+		{"GET /v1/graph", s.handleGraph},
+		{"GET /v1/explain", s.handleExplain},
+		{"GET /v1/ubo", s.handleUBO},
+		{"GET /v1/neighborhood", s.handleNeighborhood},
+		{"GET /v1/metrics", s.handleMetrics},
+	}
+	if !s.cfg.DisableMetrics {
+		s.metricsOnce.Do(func() {
+			names := make([]string, len(routes))
+			for i, rt := range routes {
+				names[i] = rt.pattern
+			}
+			initExpvar()
+			s.metrics = newServerMetrics(names)
+		})
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/control", s.handleControl)
-	mux.HandleFunc("GET /v1/control/pairs", s.handleControlPairs)
-	mux.HandleFunc("GET /v1/closelinks", s.handleCloseLinks)
-	mux.HandleFunc("GET /v1/accumulated", s.handleAccumulated)
-	mux.HandleFunc("POST /v1/augment", s.handleAugment)
-	mux.HandleFunc("POST /v1/reason", s.handleReason)
-	mux.HandleFunc("GET /v1/graph", s.handleGraph)
-	mux.HandleFunc("GET /v1/explain", s.handleExplain)
-	mux.HandleFunc("GET /v1/ubo", s.handleUBO)
-	mux.HandleFunc("GET /v1/neighborhood", s.handleNeighborhood)
+	for _, rt := range routes {
+		pattern, h := rt.pattern, rt.h
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			// Label the response writer so the governance middleware can
+			// attribute metrics and logs to the matched route (the mux
+			// pattern is not exposed on Go 1.22).
+			if sw, ok := w.(*statusWriter); ok {
+				sw.route = pattern
+			}
+			h(w, r)
+		})
+	}
+	if !s.cfg.DisableMetrics {
+		mux.Handle("GET /debug/vars", expvar.Handler())
+	}
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s.govern(mux)
 }
 
-// statusWriter tracks whether a response has been started, so the panic
-// recovery knows whether it can still emit a JSON error.
+// ctxKeyRequestID carries the request ID through the request context so the
+// error envelope can echo it from any handler depth.
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+// requestIDFrom returns the request's ID assigned by the governance
+// middleware ("" outside it).
+func requestIDFrom(r *http.Request) string {
+	id, _ := r.Context().Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// statusWriter tracks the response status for metrics and logs, lets the
+// panic recovery know whether it can still emit a JSON error, and rewrites
+// the mux's plaintext 404/405 fallbacks into the JSON error envelope.
 type statusWriter struct {
 	http.ResponseWriter
-	wrote bool
+	wrote   bool
+	status  int
+	route   string // mux pattern, "" when no route matched
+	reqID   string
+	swallow bool // dropping the plaintext body of a rewritten 404/405
 }
 
 func (w *statusWriter) WriteHeader(code int) {
+	if w.wrote {
+		w.ResponseWriter.WriteHeader(code)
+		return
+	}
 	w.wrote = true
+	w.status = code
+	// A plaintext 404/405 at this point is the ServeMux fallback (or a stray
+	// http.Error): rewrite it into the JSON envelope, dropping its body.
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		strings.HasPrefix(w.Header().Get("Content-Type"), "text/plain") {
+		w.swallow = true
+		msg, errCode := "not found", "not_found"
+		if code == http.StatusMethodNotAllowed {
+			msg, errCode = "method not allowed", "method_not_allowed"
+		}
+		h := w.Header()
+		h.Set("Content-Type", "application/json")
+		h.Del("X-Content-Type-Options")
+		w.ResponseWriter.WriteHeader(code)
+		_ = json.NewEncoder(w.ResponseWriter).Encode(map[string]any{
+			"error": msg, "code": errCode, "requestID": w.reqID,
+		})
+		return
+	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(b []byte) (int, error) {
-	w.wrote = true
+	if w.swallow {
+		return len(b), nil
+	}
+	if !w.wrote {
+		w.wrote = true
+		w.status = http.StatusOK
+	}
 	return w.ResponseWriter.Write(b)
 }
 
-// govern wraps the mux with the resource-governance middleware:
+// govern wraps the mux with the observability and resource-governance
+// middleware:
 //
-//   - every request gets an X-Request-ID;
-//   - a panic in a handler becomes a JSON 500 carrying that ID — the
+//   - every request gets an X-Request-ID, echoed in error envelopes;
+//   - per-route counters and latency histograms feed GET /v1/metrics;
+//   - Config.Logger receives one structured access-log record per request;
+//   - a panic in a handler becomes a JSON 500 carrying the request ID — the
 //     process survives;
 //   - the request context gets the configured wall-clock deadline, which
 //     the chase-backed handlers propagate into the engine.
 func (s *Server) govern(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := fmt.Sprintf("req-%d", s.reqSeq.Add(1))
-		sw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, reqID: id}
 		sw.Header().Set("X-Request-ID", id)
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID, id)
+		r = r.WithContext(ctx)
 		defer func() {
 			if rec := recover(); rec != nil {
 				log.Printf("reasonapi: %s %s %s: recovered panic: %v", id, r.Method, r.URL.Path, rec)
 				if !sw.wrote {
-					writeJSON(sw, http.StatusInternalServerError, map[string]any{
-						"error":     fmt.Sprintf("internal error: %v", rec),
-						"requestId": id,
-					})
+					writeErr(sw, r, http.StatusInternalServerError, "internal", "internal error: %v", rec)
+				} else {
+					sw.status = http.StatusInternalServerError
 				}
 			}
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			elapsed := time.Since(t0)
+			if s.metrics != nil {
+				route := sw.route
+				if route == "" {
+					route = "other"
+				}
+				s.metrics.observe(route, status, elapsed)
+			}
+			if lg := s.cfg.Logger; lg != nil {
+				lg.LogAttrs(context.Background(), slog.LevelInfo, "request",
+					slog.String("id", id),
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Int("status", status),
+					slog.Duration("duration", elapsed),
+				)
+			}
 		}()
-		ctx := r.Context()
 		if t := s.cfg.timeout(); t > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, t)
 			defer cancel()
+			r = r.WithContext(ctx)
 		}
 		faultinject.Fire(faultinject.SiteAPIHandler)
-		next.ServeHTTP(sw, r.WithContext(ctx))
+		next.ServeHTTP(sw, r)
 	})
+}
+
+// handleMetrics serves the per-endpoint counters and the last chase report:
+// GET /v1/metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.metrics == nil {
+		writeErr(w, r, http.StatusNotFound, "not_found", "metrics are disabled on this server")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.lastChase.Load()))
 }
 
 // truncMeta classifies an interruption error into the JSON metadata of a
@@ -230,7 +390,7 @@ func (s *Server) handleUBO(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	node, err := s.parseNode(r, "node")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	type item struct {
@@ -256,14 +416,14 @@ func (s *Server) handleNeighborhood(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	node, err := s.parseNode(r, "node")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	hops := 2
 	if raw := r.URL.Query().Get("hops"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v < 0 || v > 10 {
-			writeErr(w, http.StatusBadRequest, "bad hops %q (want 0–10)", raw)
+			writeErr(w, r, http.StatusBadRequest, "bad_request", "bad hops %q (want 0–10)", raw)
 			return
 		}
 		hops = v
@@ -280,21 +440,23 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	from, err := s.parseNode(r, "from")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	to, err := s.parseNode(r, "to")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	reasoner := vadalog.NewReasoner(s.g, vadalog.TaskControl)
-	reasoner.Options = s.engineOptions()
-	reasoner.Options.Provenance = true
+	reasoner.EngineOptions = append(s.engineOptions(), datalog.WithProvenance())
 	runErr := reasoner.RunContext(r.Context())
+	if e := reasoner.Engine(); e != nil {
+		s.recordChase(e.Stats())
+	}
 	var be *datalog.BudgetExceededError
 	if runErr != nil && !errors.As(runErr, &be) {
-		writeErr(w, http.StatusInternalServerError, "reasoning failed: %v", runErr)
+		writeErr(w, r, http.StatusInternalServerError, "internal", "reasoning failed: %v", runErr)
 		return
 	}
 	// On a budget trip the partial derivations remain readable: the tree is
@@ -318,8 +480,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeErr emits the API's uniform JSON error envelope (see DESIGN.md §"HTTP
+// error envelope"): {"error", "code", "requestID"}, plus "retryAfter"
+// (seconds) when a Retry-After header is set on the response.
+func writeErr(w http.ResponseWriter, r *http.Request, status int, code string, format string, args ...any) {
+	body := map[string]any{
+		"error":     fmt.Sprintf(format, args...),
+		"code":      code,
+		"requestID": requestIDFrom(r),
+	}
+	if ra := w.Header().Get("Retry-After"); ra != "" {
+		if n, err := strconv.Atoi(ra); err == nil {
+			body["retryAfter"] = n
+		}
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -348,7 +523,7 @@ func (s *Server) handleControl(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	node, err := s.parseNode(r, "node")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	controlled, runErr := control.ControlsCtx(r.Context(), s.g, node)
@@ -389,7 +564,7 @@ func (s *Server) handleCloseLinks(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("t"); raw != "" {
 		v, err := strconv.ParseFloat(raw, 64)
 		if err != nil || v <= 0 || v > 1 {
-			writeErr(w, http.StatusBadRequest, "bad threshold %q", raw)
+			writeErr(w, r, http.StatusBadRequest, "bad_request", "bad threshold %q", raw)
 			return
 		}
 		t = v
@@ -421,12 +596,12 @@ func (s *Server) handleAccumulated(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.RUnlock()
 	from, err := s.parseNode(r, "from")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	to, err := s.parseNode(r, "to")
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	phi, runErr := closelink.AccumulatedCtx(r.Context(), s.g, from, to, closelink.Options{})
@@ -452,7 +627,7 @@ func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
 	if r.Body != nil {
 		body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
 		if err := json.NewDecoder(body).Decode(&req); err != nil && err.Error() != "EOF" {
-			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+			writeErr(w, r, http.StatusBadRequest, "bad_request", "bad request body: %v", err)
 			return
 		}
 	}
@@ -469,7 +644,7 @@ func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
 		case "closelink":
 			cands = append(cands, core.CloseLinkCandidate{})
 		default:
-			writeErr(w, http.StatusBadRequest, "unknown link class %q", c)
+			writeErr(w, r, http.StatusBadRequest, "bad_request", "unknown link class %q", c)
 			return
 		}
 	}
@@ -484,14 +659,14 @@ func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
 	}
 	aug, err := core.New(cfg)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
 	// One mutation at a time: a second augment gets an immediate 503 with
 	// Retry-After instead of queueing on the write lock forever.
 	if !s.augMu.TryLock() {
 		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfterSeconds()))
-		writeErr(w, http.StatusServiceUnavailable, "augmentation already in progress; retry later")
+		writeErr(w, r, http.StatusServiceUnavailable, "busy", "augmentation already in progress; retry later")
 		return
 	}
 	defer s.augMu.Unlock()
@@ -503,14 +678,19 @@ func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
 			// Completed rounds persist (augmentation is monotone); a retry
 			// resumes from where this run stopped.
 			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfterSeconds()))
-			resp := map[string]any{"error": fmt.Sprintf("augmentation interrupted: %v", err)}
+			resp := map[string]any{
+				"error":      fmt.Sprintf("augmentation interrupted: %v", err),
+				"code":       "interrupted",
+				"requestID":  requestIDFrom(r),
+				"retryAfter": s.cfg.retryAfterSeconds(),
+			}
 			for k, v := range truncMeta(err) {
 				resp[k] = v
 			}
 			writeJSON(w, http.StatusServiceUnavailable, resp)
 			return
 		}
-		writeErr(w, http.StatusInternalServerError, "augmentation failed: %v", err)
+		writeErr(w, r, http.StatusInternalServerError, "internal", "augmentation failed: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -518,6 +698,15 @@ func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
 		"rounds":      res.Rounds,
 		"comparisons": res.Comparisons,
 		"blocks":      res.Blocks,
+		// The augmentation loop's run report (its cost breakdown plays the
+		// role the chase stats play for /v1/reason).
+		"stats": map[string]any{
+			"rounds":      res.Rounds,
+			"comparisons": res.Comparisons,
+			"blocks":      res.Blocks,
+			"embedMillis": res.EmbedTime.Milliseconds(),
+			"matchMillis": res.MatchTime.Milliseconds(),
+		},
 	})
 }
 
@@ -546,25 +735,27 @@ func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
 	var req reasonRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "bad request body: %v", err)
 		return
 	}
 	if req.Program == "" {
-		writeErr(w, http.StatusBadRequest, "missing program")
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "missing program")
 		return
 	}
 	prog, err := datalog.Parse(req.Program)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "parsing program: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "parsing program: %v", err)
 		return
 	}
 	opts := s.engineOptions()
-	if req.MaxFacts > 0 && (opts.Budget.MaxFacts == 0 || req.MaxFacts < opts.Budget.MaxFacts) {
-		opts.Budget.MaxFacts = req.MaxFacts
+	b := s.cfg.Budget
+	if req.MaxFacts > 0 && (b.MaxFacts == 0 || req.MaxFacts < b.MaxFacts) {
+		b.MaxFacts = req.MaxFacts
+		opts = append(opts, datalog.WithBudget(b))
 	}
-	engine, err := datalog.NewEngine(prog, opts)
+	engine, err := datalog.NewEngine(prog, opts...)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "preparing engine: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "preparing engine: %v", err)
 		return
 	}
 
@@ -576,12 +767,13 @@ func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
 	engine.AssertAll(facts)
 
 	runErr := engine.RunContext(r.Context())
+	s.recordChase(engine.Stats())
 	var be *datalog.BudgetExceededError
 	if runErr != nil && !errors.As(runErr, &be) &&
 		!errors.Is(runErr, context.DeadlineExceeded) && !errors.Is(runErr, context.Canceled) {
 		// A genuine evaluation error (bad builtin, type error), not a
 		// budget trip.
-		writeErr(w, http.StatusUnprocessableEntity, "evaluating program: %v", runErr)
+		writeErr(w, r, http.StatusUnprocessableEntity, "unprocessable", "evaluating program: %v", runErr)
 		return
 	}
 
@@ -618,6 +810,9 @@ func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
 		"facts":   factsOut,
 		"rounds":  engine.Rounds(),
 		"derived": engine.DerivedCount(),
+	}
+	if st := engine.Stats(); st != nil {
+		resp["stats"] = st
 	}
 	for k, v := range truncMeta(runErr) {
 		resp[k] = v

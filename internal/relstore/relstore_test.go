@@ -66,7 +66,7 @@ func TestGenericFactsPromoteEverything(t *testing.T) {
 func TestApplyPredictedLinks(t *testing.T) {
 	g, b := pg.Figure2()
 	prog := datalog.MustParse(`in(X, Y) -> control(X, Y).`)
-	e, err := datalog.NewEngine(prog, datalog.Options{})
+	e, err := datalog.NewEngine(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestApplyPredictedLinks(t *testing.T) {
 func TestApplyPredictedLinksRejectsUnknownNode(t *testing.T) {
 	g, _ := pg.Figure2()
 	prog := datalog.MustParse(`in(X, Y) -> control(X, Y).`)
-	e, _ := datalog.NewEngine(prog, datalog.Options{})
+	e, _ := datalog.NewEngine(prog)
 	e.Assert(datalog.Fact{Pred: "in", Args: []any{int64(999), int64(1000)}})
 	if err := e.Run(); err != nil {
 		t.Fatal(err)
@@ -116,7 +116,7 @@ func TestRoundTripThroughInputMappingRules(t *testing.T) {
 		person(Id, N, B, A, S) -> gnode(Id), gnodetype(Id, "Person").
 		own(X, Y, W), Z = #ske(X, Y) -> glink(Z, X, Y, W), gedgetype(Z, "Shareholding").
 	`
-	e, err := datalog.NewEngine(datalog.MustParse(src), datalog.Options{})
+	e, err := datalog.NewEngine(datalog.MustParse(src))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,8 +43,9 @@ type GenericConfig struct {
 	Blocker cluster.Blocker
 	// Classifier backs #linkprobnode; nil uses family.NewClassifier().
 	Classifier *family.Classifier
-	// Options tunes the engine (e.g. Provenance for explainable decisions).
-	Options datalog.Options
+	// EngineOptions tunes the engine (e.g. datalog.WithProvenance() for
+	// explainable decisions), applied in order.
+	EngineOptions []datalog.Option
 }
 
 // GenericResult is the outcome of the declarative Algorithm 3 pipeline.
@@ -97,7 +98,7 @@ func RunGeneric(g *pg.Graph, cfg GenericConfig) (*GenericResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vadalog: parsing generic pipeline: %w", err)
 	}
-	engine, err := datalog.NewEngine(prog, cfg.Options)
+	engine, err := datalog.NewEngine(prog, cfg.EngineOptions...)
 	if err != nil {
 		return nil, err
 	}

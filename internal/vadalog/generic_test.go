@@ -94,7 +94,7 @@ func TestGenericPipelineExplainable(t *testing.T) {
 		"name": "Elena", "surname": "Rossi", "birth": 1962.0,
 		"addr": "Via Garibaldi 12", "city": "Roma",
 	})
-	res, err := RunGeneric(g, GenericConfig{Options: datalog.Options{Provenance: true}})
+	res, err := RunGeneric(g, GenericConfig{EngineOptions: []datalog.Option{datalog.WithProvenance()}})
 	if err != nil {
 		t.Fatal(err)
 	}

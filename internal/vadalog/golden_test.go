@@ -36,7 +36,7 @@ func goldenGraph() *graphgen.Italian {
 func goldenLines(t *testing.T, it *graphgen.Italian, tasks Task, parallel int, preds []string, withAccown bool) []string {
 	t.Helper()
 	r := NewReasoner(it.Graph, tasks)
-	r.Options = datalog.Options{Parallel: parallel}
+	r.EngineOptions = []datalog.Option{datalog.WithParallel(parallel)}
 	if tasks&TaskFamilyControl != 0 {
 		r.Families = it.Families
 	}

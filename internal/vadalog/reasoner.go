@@ -38,9 +38,9 @@ type Reasoner struct {
 	// Families maps family IDs to member nodes, the fammember relation of
 	// Algorithms 8 and 9.
 	Families map[string][]pg.NodeID
-	// Options tunes the underlying engine (epsilon for cyclic accumulated
-	// ownership, round bounds).
-	Options datalog.Options
+	// EngineOptions tunes the underlying engine — budget, round bounds,
+	// provenance, parallelism, stats — applied in order at Run.
+	EngineOptions []datalog.Option
 }
 
 // NewReasoner prepares a reasoner for the given tasks.
@@ -87,7 +87,7 @@ func (r *Reasoner) RunContext(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("vadalog: parsing shipped programs: %w", err)
 	}
-	engine, err := datalog.NewEngine(prog, r.Options)
+	engine, err := datalog.NewEngine(prog, r.EngineOptions...)
 	if err != nil {
 		return fmt.Errorf("vadalog: preparing engine: %w", err)
 	}
@@ -226,14 +226,14 @@ func (r *Reasoner) AccumulatedOwnership() map[[2]pg.NodeID]float64 {
 
 // ExplainControl renders the derivation tree of a control(x, y) decision —
 // why the reasoner concluded that x controls y, down to the ownership facts.
-// It requires the engine to run with Options.Provenance set; otherwise (or
+// It requires the engine to run with datalog.WithProvenance(); otherwise (or
 // for an unknown pair) it returns nil.
 func (r *Reasoner) ExplainControl(x, y pg.NodeID) []string {
 	return r.explainPair("control", x, y)
 }
 
 // ExplainCloseLink renders the derivation tree of a closelink(x, y)
-// decision. Requires Options.Provenance.
+// decision. Requires datalog.WithProvenance().
 func (r *Reasoner) ExplainCloseLink(x, y pg.NodeID) []string {
 	return r.explainPair("closelink", x, y)
 }

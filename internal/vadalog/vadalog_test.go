@@ -285,7 +285,7 @@ func TestInfluenceProgramExample32(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := datalog.NewEngine(prog, datalog.Options{})
+	e, err := datalog.NewEngine(prog)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -144,7 +144,7 @@ func TestScenarioDeclarativeAgreesWithDirect(t *testing.T) {
 func TestScenarioExplainFamilyControlPath(t *testing.T) {
 	g, b := buildConglomerate()
 	r := vadalink.NewReasoner(g, vadalink.TaskControl)
-	r.Options.Provenance = true
+	r.EngineOptions = append(r.EngineOptions, vadalink.WithProvenance())
 	if err := r.Run(); err != nil {
 		t.Fatal(err)
 	}

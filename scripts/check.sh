@@ -28,6 +28,18 @@ awk -v c="$cov" -v f="$COVER_FLOOR" 'BEGIN { exit (c + 0 >= f + 0) ? 0 : 1 }' ||
     exit 1
 }
 
+echo "== coverage floor (internal/reasonapi) =="
+# The HTTP surface carries the error-envelope and observability contracts;
+# hold it at the level the observability PR established (86% at the time).
+API_COVER_FLOOR="${API_COVER_FLOOR:-75.0}"
+go test -coverprofile=/tmp/reasonapi.cover ./internal/reasonapi >/dev/null
+apicov="$(go tool cover -func=/tmp/reasonapi.cover | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')"
+echo "internal/reasonapi coverage: ${apicov}% (floor ${API_COVER_FLOOR}%)"
+awk -v c="$apicov" -v f="$API_COVER_FLOOR" 'BEGIN { exit (c + 0 >= f + 0) ? 0 : 1 }' || {
+    echo "coverage ${apicov}% fell below the ${API_COVER_FLOOR}% floor" >&2
+    exit 1
+}
+
 echo "== benchmark smoke (1x) =="
 # Run every regression benchmark once so the harness can't bit-rot; real
 # measurements go through scripts/bench.sh with a time-based BENCHTIME.

@@ -246,9 +246,15 @@ func NewReasoner(g *Graph, tasks vadalog.Task) *Reasoner { return vadalog.NewRea
 // ParseRules parses a Vadalog-syntax rule program (for custom reasoning).
 func ParseRules(src string) (*datalog.Program, error) { return datalog.Parse(src) }
 
-// NewEngine prepares a Datalog± engine for a custom program.
-func NewEngine(p *datalog.Program) (*datalog.Engine, error) {
-	return datalog.NewEngine(p, datalog.Options{})
+// NewEngine prepares a Datalog± engine for a custom program. Functional
+// options tune it:
+//
+//	e, err := vadalink.NewEngine(p,
+//	    vadalink.WithBudget(vadalink.Budget{MaxFacts: 1e6}),
+//	    vadalink.WithParallel(4),
+//	    vadalink.WithStats())
+func NewEngine(p *datalog.Program, opts ...EngineOption) (*datalog.Engine, error) {
+	return datalog.NewEngine(p, opts...)
 }
 
 // CheckWarded analyses a rule program for membership in the warded
@@ -349,11 +355,54 @@ type Budget = datalog.Budget
 // returns; it names the tripped limit and the partial progress.
 type BudgetExceededError = datalog.BudgetExceededError
 
-// NewEngineWith prepares a rule program with explicit engine options
-// (budget, round cap, provenance).
+// NewEngineWith prepares a rule program with a hand-built options struct.
+//
+// Deprecated: use NewEngine with functional options (WithBudget,
+// WithParallel, WithStats, ...). Kept so pre-redesign call sites compile.
 func NewEngineWith(p *datalog.Program, opts datalog.Options) (*datalog.Engine, error) {
-	return datalog.NewEngine(p, opts)
+	return datalog.NewEngineWith(p, opts)
 }
 
 // EngineOptions tunes the embedded Datalog± engine.
+//
+// Deprecated: configure engines with EngineOption values instead.
 type EngineOptions = datalog.Options
+
+// EngineOption is one functional engine option (see the With* constructors).
+type EngineOption = datalog.Option
+
+// Engine option constructors, re-exported from the engine package.
+var (
+	// WithBudget bounds a Run's resources (facts, delta queue, index memory).
+	WithBudget = datalog.WithBudget
+	// WithMaxRounds caps the semi-naive rounds of one Run.
+	WithMaxRounds = datalog.WithMaxRounds
+	// WithParallel sets the chase worker count (0 = GOMAXPROCS).
+	WithParallel = datalog.WithParallel
+	// WithNoIndex disables the positional hash indexes (scan mode).
+	WithNoIndex = datalog.WithNoIndex
+	// WithProvenance records derivations, enabling Explain/ExplainTree.
+	WithProvenance = datalog.WithProvenance
+	// WithStats collects an EngineStats report during each Run.
+	WithStats = datalog.WithStats
+	// WithHook installs chase lifecycle callbacks (tracing seam).
+	WithHook = datalog.WithHook
+)
+
+// --- observability (chase statistics and API metrics) ---
+
+// EngineStats is the evaluation report of one chase Run — per-rule firings,
+// derivations, duplicates and timings, per-round deltas, index hit/scan
+// counts and worker-pool utilization. Collected when the engine runs with
+// WithStats; read it with Engine.Stats().
+type EngineStats = datalog.ChaseStats
+
+// EngineRuleStats is the per-rule slice of an EngineStats report.
+type EngineRuleStats = datalog.RuleStats
+
+// EngineHook is the chase lifecycle callback set installed by WithHook.
+type EngineHook = datalog.Hook
+
+// APIMetrics is the snapshot served by GET /v1/metrics: per-endpoint request
+// counters and latency histograms plus the last chase's per-rule statistics.
+type APIMetrics = reasonapi.Metrics
