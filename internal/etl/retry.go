@@ -1,0 +1,74 @@
+// Transient-fault tolerance for the input streams. Registry exports are
+// fetched over NFS mounts and flaky object stores; a single EAGAIN-ish
+// hiccup should not abort a multi-million-row load. Every stream Load
+// consumes is wrapped in a retryReader that retries *transient* read errors
+// with capped exponential backoff and surfaces everything else immediately —
+// a permanent error retried forever is a hung ETL job, which is worse than a
+// failed one.
+package etl
+
+import (
+	"io"
+	"time"
+
+	"vadalink/internal/faultinject"
+)
+
+// Backoff parameters of the input-stream retry loop.
+const (
+	retryMaxAttempts = 5
+	retryBaseDelay   = time.Millisecond
+	retryMaxDelay    = 50 * time.Millisecond
+)
+
+// transientError is the contract for retryable read failures, matching the
+// convention of net.Error and syscall errors: Temporary() reporting true.
+type transientError interface {
+	Temporary() bool
+}
+
+func isTransient(err error) bool {
+	te, ok := err.(transientError)
+	return ok && te.Temporary()
+}
+
+// retryReader retries transient failures of the underlying reader. A read
+// that returned data is never retried (the bytes were consumed); only a
+// clean (0, err) failure is, so no input is ever duplicated or dropped.
+type retryReader struct {
+	r     io.Reader
+	sleep func(time.Duration) // injectable for tests
+}
+
+// newRetryReader wraps r; nil stays nil so Load's absent-stream convention
+// is preserved.
+func newRetryReader(r io.Reader) io.Reader {
+	if r == nil {
+		return nil
+	}
+	return &retryReader{r: r, sleep: time.Sleep}
+}
+
+func (rr *retryReader) Read(p []byte) (int, error) {
+	delay := retryBaseDelay
+	for attempt := 0; ; attempt++ {
+		// The injection site stands in for the underlying stream failing:
+		// an armed fault is indistinguishable from a short read off a flaky
+		// mount, which is exactly what the retry loop must absorb.
+		n, err := 0, faultinject.FireErr(faultinject.SiteIORead)
+		if err == nil {
+			n, err = rr.r.Read(p)
+		}
+		if err == nil || err == io.EOF || n > 0 {
+			return n, err
+		}
+		if !isTransient(err) || attempt+1 >= retryMaxAttempts {
+			return n, err
+		}
+		rr.sleep(delay)
+		delay *= 2
+		if delay > retryMaxDelay {
+			delay = retryMaxDelay
+		}
+	}
+}

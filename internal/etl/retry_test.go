@@ -1,0 +1,116 @@
+package etl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"vadalink/internal/faultinject"
+)
+
+// flakyErr is transient: Temporary() true, the retry contract.
+type flakyErr struct{ n int }
+
+func (e flakyErr) Error() string   { return fmt.Sprintf("transient failure %d", e.n) }
+func (e flakyErr) Temporary() bool { return true }
+
+const retryCompaniesCSV = "id,name\nC1,ACME\nC2,Banca\n"
+
+// A stream that fails transiently a few times recovers: the load completes
+// with every row intact and nothing duplicated.
+func TestLoadRetriesTransientReadErrors(t *testing.T) {
+	fails := 3
+	faultinject.SetErr(faultinject.SiteIORead, func() error {
+		if fails > 0 {
+			fails--
+			return flakyErr{n: fails}
+		}
+		return nil
+	})
+	defer faultinject.Reset()
+
+	res, err := Load(strings.NewReader(retryCompaniesCSV), nil, nil)
+	if err != nil {
+		t.Fatalf("Load with transient faults: %v", err)
+	}
+	if res.Graph.NumNodes() != 2 {
+		t.Fatalf("loaded %d companies, want 2", res.Graph.NumNodes())
+	}
+	if fails != 0 {
+		t.Errorf("%d injected faults never fired", fails)
+	}
+}
+
+// A stream that keeps failing transiently exhausts the retry budget and the
+// load aborts with the underlying error — bounded, not hung.
+func TestLoadGivesUpAfterRetryBudget(t *testing.T) {
+	faultinject.SetErr(faultinject.SiteIORead, func() error { return flakyErr{} })
+	defer faultinject.Reset()
+
+	_, err := Load(strings.NewReader(retryCompaniesCSV), nil, nil)
+	if err == nil {
+		t.Fatal("Load succeeded on a permanently flaky stream")
+	}
+	var fe flakyErr
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v does not carry the stream failure", err)
+	}
+}
+
+// A permanent error aborts on the first attempt: no retries, no backoff.
+func TestPermanentErrorAbortsImmediately(t *testing.T) {
+	attempts := 0
+	permanent := errors.New("disk on fire")
+	faultinject.SetErr(faultinject.SiteIORead, func() error {
+		attempts++
+		return permanent
+	})
+	defer faultinject.Reset()
+
+	_, err := Load(strings.NewReader(retryCompaniesCSV), nil, nil)
+	if !errors.Is(err, permanent) {
+		t.Fatalf("Load error = %v, want the permanent failure", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("permanent error was attempted %d times, want 1", attempts)
+	}
+}
+
+// Unit-level backoff shape: delays double from the base and cap at the
+// maximum, and a read that returned data is never retried.
+func TestRetryReaderBackoffSchedule(t *testing.T) {
+	var delays []time.Duration
+	rr := &retryReader{
+		r:     strings.NewReader("irrelevant"),
+		sleep: func(d time.Duration) { delays = append(delays, d) },
+	}
+	calls := 0
+	faultinject.SetErr(faultinject.SiteIORead, func() error {
+		calls++
+		if calls < retryMaxAttempts {
+			return flakyErr{}
+		}
+		return nil
+	})
+	defer faultinject.Reset()
+
+	buf := make([]byte, 4)
+	n, err := rr.Read(buf)
+	if err != nil || n == 0 {
+		t.Fatalf("Read = %d, %v after retries", n, err)
+	}
+	if len(delays) != retryMaxAttempts-1 {
+		t.Fatalf("slept %d times, want %d", len(delays), retryMaxAttempts-1)
+	}
+	for i, d := range delays {
+		want := retryBaseDelay << i
+		if want > retryMaxDelay {
+			want = retryMaxDelay
+		}
+		if d != want {
+			t.Errorf("delay %d = %v, want %v", i, d, want)
+		}
+	}
+}

@@ -29,15 +29,38 @@ const (
 	// SiteAugmentRound fires at the start of every KG-augmentation round
 	// (internal/core). Hooks here simulate slow augmentation.
 	SiteAugmentRound = "core.round"
+
+	// SiteIORead fires on every Read of a retrying input stream
+	// (internal/etl). Error hooks here simulate transient reader hiccups —
+	// flaky NFS mounts, droppy network fetches — to exercise backoff.
+	SiteIORead = "io.read"
+	// SitePersistAppend fires before a WAL record is written
+	// (internal/persist). An error hook makes the writer emit a deliberately
+	// torn (half-written) record and fail, simulating a crash mid-write.
+	SitePersistAppend = "persist.append"
+	// SitePersistSync fires before a WAL fsync (internal/persist). Error
+	// hooks simulate fsync failures (full disk, dying device); the WAL goes
+	// fail-stop.
+	SitePersistSync = "persist.sync"
+	// SitePersistRename fires between a snapshot temp file being fsynced and
+	// its atomic rename (internal/persist). Error hooks simulate a crash in
+	// that window: the temp file is left behind, the old snapshot stays
+	// authoritative.
+	SitePersistRename = "persist.rename"
 )
 
 // Fn is an injected behavior. It may sleep, panic, or do nothing.
 type Fn func()
 
+// ErrFn is an injected fallible behavior: returning a non-nil error makes
+// the instrumented operation fail as if the underlying syscall had.
+type ErrFn func() error
+
 var (
-	armed atomic.Bool // true while any hook is registered
-	mu    sync.RWMutex
-	hooks = map[string]Fn{}
+	armed    atomic.Bool // true while any hook is registered
+	mu       sync.RWMutex
+	hooks    = map[string]Fn{}
+	errHooks = map[string]ErrFn{}
 )
 
 // Set registers (or replaces) the hook for a site. Tests must pair Set with
@@ -50,17 +73,37 @@ func Set(site string, fn Fn) {
 	} else {
 		hooks[site] = fn
 	}
-	armed.Store(len(hooks) > 0)
+	armed.Store(len(hooks)+len(errHooks) > 0)
 }
 
-// Clear removes the hook for a site.
-func Clear(site string) { Set(site, nil) }
+// SetErr registers (or replaces) the error hook for a site. Tests must pair
+// SetErr with Clear or Reset (typically via t.Cleanup).
+func SetErr(site string, fn ErrFn) {
+	mu.Lock()
+	defer mu.Unlock()
+	if fn == nil {
+		delete(errHooks, site)
+	} else {
+		errHooks[site] = fn
+	}
+	armed.Store(len(hooks)+len(errHooks) > 0)
+}
+
+// Clear removes the hooks (plain and error) for a site.
+func Clear(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(hooks, site)
+	delete(errHooks, site)
+	armed.Store(len(hooks)+len(errHooks) > 0)
+}
 
 // Reset removes every hook.
 func Reset() {
 	mu.Lock()
 	defer mu.Unlock()
 	hooks = map[string]Fn{}
+	errHooks = map[string]ErrFn{}
 	armed.Store(false)
 }
 
@@ -76,4 +119,21 @@ func Fire(site string) {
 	if fn != nil {
 		fn()
 	}
+}
+
+// FireErr invokes the error hook registered for site, if any, and returns
+// its error. Production code treats a non-nil return as the instrumented
+// operation failing. Like Fire, it is a single atomic load when no hooks
+// are registered.
+func FireErr(site string) error {
+	if !armed.Load() {
+		return nil
+	}
+	mu.RLock()
+	fn := errHooks[site]
+	mu.RUnlock()
+	if fn != nil {
+		return fn()
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"errors"
 	"sync"
 	"testing"
 )
@@ -25,6 +26,44 @@ func TestFireRunsRegisteredHook(t *testing.T) {
 func TestFireDisarmedIsNoop(t *testing.T) {
 	Reset()
 	Fire("anything") // must not panic or block
+}
+
+func TestFireErrReturnsInjectedError(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	calls := 0
+	SetErr("site.err", func() error {
+		calls++
+		if calls < 3 {
+			return boom
+		}
+		return nil
+	})
+	if err := FireErr("site.err"); err != boom {
+		t.Errorf("FireErr = %v, want boom", err)
+	}
+	if err := FireErr("site.other"); err != nil {
+		t.Errorf("unregistered site returned %v", err)
+	}
+	FireErr("site.err")
+	if err := FireErr("site.err"); err != nil {
+		t.Errorf("third call = %v, want nil", err)
+	}
+	Clear("site.err")
+	if err := FireErr("site.err"); err != nil {
+		t.Errorf("cleared error hook still fired: %v", err)
+	}
+}
+
+// TestErrHookArmsRegistry: an ErrFn alone must arm the registry (the armed
+// flag short-circuits both Fire and FireErr).
+func TestErrHookArmsRegistry(t *testing.T) {
+	t.Cleanup(Reset)
+	Reset()
+	SetErr("only.err", func() error { return errors.New("x") })
+	if err := FireErr("only.err"); err == nil {
+		t.Error("error hook did not fire — registry not armed by SetErr?")
+	}
 }
 
 func TestConcurrentSetAndFire(t *testing.T) {

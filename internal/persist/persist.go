@@ -1,0 +1,365 @@
+// Package persist is the crash-safe durability layer of the knowledge graph
+// store: an append-only write-ahead log of graph mutations plus periodic
+// checksummed full snapshots, with recovery that survives torn writes.
+//
+// The paper's §5 architecture assumes the augmented KG outlives the process
+// (the KGMS persists what the reasoner derives); this package provides that
+// without leaving the stdlib. Layout of a data directory:
+//
+//	snap-<gen>.vsnap   full snapshot opening generation <gen>
+//	wal-<gen>.log      mutations since that snapshot
+//
+// Invariants:
+//
+//   - a fact is durable once Sync returns (callers sync before
+//     acknowledging; the group-commit loop bounds the window for the rest);
+//   - recovery loads the newest snapshot whose checksum verifies, then
+//     replays every WAL of that generation and later, truncating a torn
+//     final record instead of failing;
+//   - recovery REFUSES to serve corrupt state: a CRC-valid record that does
+//     not decode, or one whose replay diverges from the log (wrong IDs,
+//     unknown endpoints), is an Open error, not a shrug.
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vadalink/internal/pg"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// SyncEvery is the WAL group-commit interval: how often buffered
+	// records are fsynced in the background. Zero syncs every append inline
+	// (maximum safety, minimum throughput). Explicit Store.Sync calls are
+	// independent of the interval.
+	SyncEvery time.Duration
+}
+
+// RecoveryInfo reports what Open did to bring the graph back.
+type RecoveryInfo struct {
+	// SnapshotGen is the generation of the snapshot that loaded (0 = none,
+	// recovery started from an empty graph).
+	SnapshotGen uint64 `json:"snapshotGen"`
+	// SnapshotsSkipped counts newer snapshots that failed their checksum
+	// and were passed over.
+	SnapshotsSkipped int `json:"snapshotsSkipped,omitempty"`
+	// WALFiles is the number of log files replayed.
+	WALFiles int `json:"walFiles"`
+	// RecordsReplayed is the number of WAL records applied on top of the
+	// snapshot.
+	RecordsReplayed int `json:"recordsReplayed"`
+	// TornTails counts WAL files whose final record was torn and truncated.
+	TornTails int `json:"tornTails,omitempty"`
+	// Nodes and Edges are the recovered graph's size.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// DurationMillis is the wall-clock cost of recovery.
+	DurationMillis int64 `json:"durationMillis"`
+}
+
+// SnapshotInfo reports one Snapshot call.
+type SnapshotInfo struct {
+	Gen            uint64 `json:"gen"`
+	Nodes          int    `json:"nodes"`
+	Edges          int    `json:"edges"`
+	Bytes          int64  `json:"bytes"`
+	DurationMillis int64  `json:"durationMillis"`
+}
+
+// Stats is the live counter snapshot of a Store.
+type Stats struct {
+	Gen         uint64 `json:"gen"`
+	WALAppends  int64  `json:"walAppends"`
+	WALSyncs    int64  `json:"walSyncs"`
+	WALBytes    int64  `json:"walBytes"`
+	Snapshots   int64  `json:"snapshots"`
+	LastError   string `json:"lastError,omitempty"`
+	SyncEveryMS int64  `json:"syncEveryMillis"`
+}
+
+// Store is a durable property graph: every committed mutation of Graph() is
+// captured into the WAL, and Snapshot()/Sync() control when state is
+// compacted and when it is guaranteed down.
+//
+// Concurrency: Append capture is internally serialized, but the graph
+// itself keeps pg's rules — one mutator at a time. Snapshot must not run
+// concurrently with mutations (hold your write lock around it, as
+// reasonapi does).
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+	g    *pg.Graph
+	wal  *walWriter
+	gen  uint64
+	rec  RecoveryInfo
+
+	snapshots int64
+	capErr    error // first record-capture failure (sticky, surfaced by Sync)
+}
+
+// Open recovers the store in dir (creating it if empty) and arms change
+// capture on the recovered graph.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating data dir: %w", err)
+	}
+	start := time.Now()
+	s := &Store{dir: dir, opts: opts}
+
+	snaps, wals, stray, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Newest verifiable snapshot wins; corrupt ones (torn rename survivors,
+	// disk rot) are skipped, falling back generation by generation.
+	var g *pg.Graph
+	for i := len(snaps) - 1; i >= 0; i-- {
+		loaded, err := readSnapshot(snapPath(dir, snaps[i]))
+		if err != nil {
+			s.rec.SnapshotsSkipped++
+			continue
+		}
+		g = loaded
+		s.rec.SnapshotGen = snaps[i]
+		break
+	}
+	if g == nil {
+		g = pg.New()
+	}
+
+	// Replay every WAL at or after the loaded generation, oldest first. When
+	// a snapshot was skipped as corrupt this re-derives its state from the
+	// previous generation's log — records carry explicit IDs, so the replay
+	// either reproduces exactly the state the log describes or fails.
+	maxGen := s.rec.SnapshotGen
+	for _, wg := range wals {
+		if wg < s.rec.SnapshotGen {
+			continue
+		}
+		if wg > maxGen {
+			maxGen = wg
+		}
+		n, torn, err := replayWAL(walPath(dir, wg), func(r Record) error { return apply(g, r) })
+		if err != nil {
+			return nil, err
+		}
+		s.rec.WALFiles++
+		s.rec.RecordsReplayed += n
+		if torn {
+			s.rec.TornTails++
+		}
+	}
+
+	s.g = g
+	s.gen = maxGen
+	w, err := openWAL(walPath(dir, s.gen), opts.SyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+
+	// Stale generations and orphaned temp files are dead weight now.
+	for _, gen := range snaps {
+		if gen != s.rec.SnapshotGen {
+			os.Remove(snapPath(dir, gen))
+		}
+	}
+	for _, gen := range wals {
+		if gen < s.rec.SnapshotGen {
+			os.Remove(walPath(dir, gen))
+		}
+	}
+	for _, p := range stray {
+		os.Remove(p)
+	}
+
+	s.rec.Nodes = g.NumNodes()
+	s.rec.Edges = g.NumEdges()
+	s.rec.DurationMillis = time.Since(start).Milliseconds()
+	g.SetMutationHook(s.capture)
+	return s, nil
+}
+
+// capture is the pg mutation hook: encode and append. Failures are sticky
+// and surface on the next Sync — the mutation already happened in memory,
+// so the only honest report is "stop acknowledging".
+func (s *Store) capture(m pg.Mutation) {
+	rec, err := recordFor(m)
+	if err == nil {
+		err = s.wal.Append(rec)
+	}
+	if err != nil {
+		s.mu.Lock()
+		if s.capErr == nil {
+			s.capErr = err
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Graph returns the recovered, change-captured graph. Mutate it under the
+// same discipline as any pg.Graph; call Sync before acknowledging.
+func (s *Store) Graph() *pg.Graph { return s.g }
+
+// Recovery reports what Open replayed.
+func (s *Store) Recovery() RecoveryInfo { return s.rec }
+
+// Sync makes every captured mutation durable. A nil return is the
+// acknowledgement barrier: facts logged before this call survive a crash.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	capErr := s.capErr
+	s.mu.Unlock()
+	if capErr != nil {
+		return capErr
+	}
+	return s.wal.Sync()
+}
+
+// Snapshot writes a checksummed full snapshot, rotates the WAL to a fresh
+// generation and deletes the superseded files. The caller must exclude
+// concurrent graph mutations for the duration.
+func (s *Store) Snapshot() (SnapshotInfo, error) {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := SnapshotInfo{Gen: s.gen + 1, Nodes: s.g.NumNodes(), Edges: s.g.NumEdges()}
+	if s.capErr != nil {
+		return info, s.capErr
+	}
+	// Everything the old generation's log holds must be down before the
+	// snapshot that supersedes it is cut.
+	if err := s.wal.Sync(); err != nil {
+		return info, err
+	}
+	_, n, err := writeSnapshot(s.dir, s.gen+1, s.g)
+	if err != nil {
+		return info, err
+	}
+	info.Bytes = n
+	w, err := openWAL(walPath(s.dir, s.gen+1), s.opts.SyncEvery)
+	if err != nil {
+		return info, err
+	}
+	old := s.wal
+	oldGen := s.gen
+	s.wal = w
+	s.gen++
+	s.snapshots++
+	_ = old.Close()
+	os.Remove(walPath(s.dir, oldGen))
+	if oldGen > 0 {
+		os.Remove(snapPath(s.dir, oldGen))
+	}
+	info.DurationMillis = time.Since(start).Milliseconds()
+	return info, nil
+}
+
+// Import seeds a freshly opened, still-empty store with g: the store adopts
+// the graph, arms change capture on it and cuts an initial snapshot so the
+// state is durable immediately. Importing over existing state is refused.
+func (s *Store) Import(g *pg.Graph) error {
+	s.mu.Lock()
+	if s.g.NumNodes() > 0 || s.g.NumEdges() > 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("persist: refusing to import over a non-empty store (%d nodes)", s.g.NumNodes())
+	}
+	s.g.SetMutationHook(nil)
+	s.g = g
+	g.SetMutationHook(s.capture)
+	s.mu.Unlock()
+	_, err := s.Snapshot()
+	return err
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, sy, b := s.wal.stats()
+	st := Stats{
+		Gen:         s.gen,
+		WALAppends:  a,
+		WALSyncs:    sy,
+		WALBytes:    b,
+		Snapshots:   s.snapshots,
+		SyncEveryMS: s.opts.SyncEvery.Milliseconds(),
+	}
+	err := s.capErr
+	if err == nil {
+		err = s.wal.Err()
+	}
+	if err != nil {
+		st.LastError = err.Error()
+	}
+	return st
+}
+
+// Close syncs and closes the WAL and detaches change capture. The graph
+// remains usable in memory; further mutations are no longer logged.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	g, w, capErr := s.g, s.wal, s.capErr
+	s.mu.Unlock()
+	g.SetMutationHook(nil)
+	err := w.Close()
+	if capErr != nil && err == nil {
+		err = capErr
+	}
+	return err
+}
+
+// scanDir inventories a data directory: snapshot generations, WAL
+// generations (each sorted ascending) and stray temp files.
+func scanDir(dir string) (snaps, wals []uint64, stray []string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("persist: reading data dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".vsnap"):
+			if gen, ok := parseGen(name, "snap-", ".vsnap"); ok {
+				snaps = append(snaps, gen)
+			} else {
+				stray = append(stray, filepath.Join(dir, name))
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			if gen, ok := parseGen(name, "wal-", ".log"); ok {
+				wals = append(wals, gen)
+			} else {
+				stray = append(stray, filepath.Join(dir, name))
+			}
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".tmp"):
+			stray = append(stray, filepath.Join(dir, name))
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	return snaps, wals, stray, nil
+}
+
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	body := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	if body == "" {
+		return 0, false
+	}
+	var gen uint64
+	for _, c := range body {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		gen = gen*10 + uint64(c-'0')
+	}
+	return gen, true
+}

@@ -77,6 +77,27 @@ func (e *Edge) Weight() (float64, bool) {
 	return f, ok
 }
 
+// MutationKind discriminates the committed changes a mutation hook observes.
+type MutationKind uint8
+
+// Mutation kinds, in the order the graph applies them.
+const (
+	MutAddNode MutationKind = iota + 1
+	MutAddEdge
+	MutRemoveEdge
+)
+
+// Mutation describes one committed graph change, delivered to the hook set
+// with SetMutationHook after the change is applied. Node is set for
+// MutAddNode; Edge for MutAddEdge and MutRemoveEdge (for removals it is the
+// edge as it was). The pointed-to structs are the graph's own — observers
+// must not mutate them.
+type Mutation struct {
+	Kind MutationKind
+	Node *Node
+	Edge *Edge
+}
+
 // Graph is an in-memory property graph. The zero value is not usable; create
 // graphs with New. Graph is not safe for concurrent mutation; concurrent
 // reads are safe once mutation stops.
@@ -92,6 +113,13 @@ type Graph struct {
 
 	byNodeLabel map[Label][]NodeID
 	byEdgeLabel map[Label][]EdgeID
+
+	// onMutate, when set, observes every committed mutation — the
+	// change-capture seam the durability layer (internal/persist) hangs its
+	// write-ahead logging on. Derived facts materialized by the chase reach
+	// the graph through AddEdge like any other change, so one hook captures
+	// both loaded and reasoned state.
+	onMutate func(Mutation)
 }
 
 // New returns an empty property graph.
@@ -106,6 +134,14 @@ func New() *Graph {
 	}
 }
 
+// SetMutationHook installs fn as the graph's mutation observer; nil removes
+// it. The hook runs synchronously inside AddNode/AddEdge/RemoveEdge, after
+// the change is applied, on the mutating goroutine — it must not mutate the
+// graph (that would recurse). Clone and Neighborhood subgraphs do not
+// inherit the hook, and Restore does not fire it (bulk reconstruction is not
+// new history).
+func (g *Graph) SetMutationHook(fn func(Mutation)) { g.onMutate = fn }
+
 // AddNode inserts a node with the given label and properties and returns its
 // ID. Props may be nil.
 func (g *Graph) AddNode(label Label, props Properties) NodeID {
@@ -114,8 +150,12 @@ func (g *Graph) AddNode(label Label, props Properties) NodeID {
 	if props == nil {
 		props = Properties{}
 	}
-	g.nodes[id] = &Node{ID: id, Label: label, Props: props}
+	n := &Node{ID: id, Label: label, Props: props}
+	g.nodes[id] = n
 	g.byNodeLabel[label] = append(g.byNodeLabel[label], id)
+	if g.onMutate != nil {
+		g.onMutate(Mutation{Kind: MutAddNode, Node: n})
+	}
 	return id
 }
 
@@ -133,10 +173,14 @@ func (g *Graph) AddEdge(label Label, from, to NodeID, props Properties) (EdgeID,
 	if props == nil {
 		props = Properties{}
 	}
-	g.edges[id] = &Edge{ID: id, Label: label, From: from, To: to, Props: props}
+	e := &Edge{ID: id, Label: label, From: from, To: to, Props: props}
+	g.edges[id] = e
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
 	g.byEdgeLabel[label] = append(g.byEdgeLabel[label], id)
+	if g.onMutate != nil {
+		g.onMutate(Mutation{Kind: MutAddEdge, Edge: e})
+	}
 	return id, nil
 }
 
@@ -176,6 +220,9 @@ func (g *Graph) RemoveEdge(id EdgeID) bool {
 	g.out[e.From] = removeID(g.out[e.From], id)
 	g.in[e.To] = removeID(g.in[e.To], id)
 	g.byEdgeLabel[e.Label] = removeID(g.byEdgeLabel[e.Label], id)
+	if g.onMutate != nil {
+		g.onMutate(Mutation{Kind: MutRemoveEdge, Edge: e})
+	}
 	return true
 }
 
@@ -187,6 +234,13 @@ func removeID[T comparable](s []T, x T) []T {
 	}
 	return s
 }
+
+// NextNodeID returns the identifier the next AddNode will assign — the
+// node-ID counter a snapshot must preserve for WAL replay to stay aligned.
+func (g *Graph) NextNodeID() NodeID { return g.nextNode }
+
+// NextEdgeID returns the identifier the next AddEdge will assign.
+func (g *Graph) NextEdgeID() EdgeID { return g.nextEdge }
 
 // Node returns the node with the given ID, or nil.
 func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
@@ -360,6 +414,61 @@ func (g *Graph) Clone() *Graph {
 		c.byEdgeLabel[e.Label] = append(c.byEdgeLabel[e.Label], id)
 	}
 	return c
+}
+
+// Restore reconstructs a graph verbatim from persisted state: nodes and
+// edges keep their original identifiers, and the internal ID counters resume
+// where the persisted graph left off (so identifiers assigned after a
+// restore never collide with removed ones). It exists for the durability
+// layer — AddNode/AddEdge always assign fresh IDs, which a snapshot loader
+// must not do. Property maps are copied; the mutation hook is not fired.
+//
+// Restore validates what it is given (duplicate or out-of-range IDs, edges
+// with unknown endpoints) and fails rather than build a graph that never
+// existed — a corrupt snapshot must not be served.
+func Restore(nodes []Node, edges []Edge, nextNode NodeID, nextEdge EdgeID) (*Graph, error) {
+	g := New()
+	for i := range nodes {
+		n := nodes[i]
+		if n.ID < 0 || n.ID >= nextNode {
+			return nil, fmt.Errorf("pg: restore: node id %d outside [0, %d)", n.ID, nextNode)
+		}
+		if _, dup := g.nodes[n.ID]; dup {
+			return nil, fmt.Errorf("pg: restore: duplicate node id %d", n.ID)
+		}
+		props := make(Properties, len(n.Props))
+		for k, v := range n.Props {
+			props[k] = v
+		}
+		g.nodes[n.ID] = &Node{ID: n.ID, Label: n.Label, Props: props}
+		g.byNodeLabel[n.Label] = append(g.byNodeLabel[n.Label], n.ID)
+	}
+	for i := range edges {
+		e := edges[i]
+		if e.ID < 0 || e.ID >= nextEdge {
+			return nil, fmt.Errorf("pg: restore: edge id %d outside [0, %d)", e.ID, nextEdge)
+		}
+		if _, dup := g.edges[e.ID]; dup {
+			return nil, fmt.Errorf("pg: restore: duplicate edge id %d", e.ID)
+		}
+		if _, ok := g.nodes[e.From]; !ok {
+			return nil, fmt.Errorf("pg: restore: edge %d: unknown source node %d", e.ID, e.From)
+		}
+		if _, ok := g.nodes[e.To]; !ok {
+			return nil, fmt.Errorf("pg: restore: edge %d: unknown target node %d", e.ID, e.To)
+		}
+		props := make(Properties, len(e.Props))
+		for k, v := range e.Props {
+			props[k] = v
+		}
+		g.edges[e.ID] = &Edge{ID: e.ID, Label: e.Label, From: e.From, To: e.To, Props: props}
+		g.out[e.From] = append(g.out[e.From], e.ID)
+		g.in[e.To] = append(g.in[e.To], e.ID)
+		g.byEdgeLabel[e.Label] = append(g.byEdgeLabel[e.Label], e.ID)
+	}
+	g.nextNode = nextNode
+	g.nextEdge = nextEdge
+	return g, nil
 }
 
 // Validate checks company-graph invariants of Definition 2.2: shareholding

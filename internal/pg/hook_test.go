@@ -1,0 +1,136 @@
+package pg
+
+import (
+	"testing"
+)
+
+// TestMutationHookObservesAllKinds: the change-capture seam sees every
+// committed mutation, in order, with the graph's own structs.
+func TestMutationHookObservesAllKinds(t *testing.T) {
+	g := New()
+	var got []Mutation
+	g.SetMutationHook(func(m Mutation) { got = append(got, m) })
+
+	a := g.AddNode(LabelCompany, Properties{"name": "A"})
+	b := g.AddNode(LabelCompany, nil)
+	eid := g.MustAddEdgeWeighted(a, b, 0.6)
+	if !g.RemoveEdge(eid) {
+		t.Fatal("RemoveEdge failed")
+	}
+
+	want := []MutationKind{MutAddNode, MutAddNode, MutAddEdge, MutRemoveEdge}
+	if len(got) != len(want) {
+		t.Fatalf("hook saw %d mutations, want %d", len(got), len(want))
+	}
+	for i, k := range want {
+		if got[i].Kind != k {
+			t.Errorf("mutation %d kind = %d, want %d", i, got[i].Kind, k)
+		}
+	}
+	if got[0].Node == nil || got[0].Node.ID != a || got[0].Node.Props["name"] != "A" {
+		t.Errorf("AddNode mutation carries %+v", got[0].Node)
+	}
+	if got[2].Edge == nil || got[2].Edge.From != a || got[2].Edge.To != b {
+		t.Errorf("AddEdge mutation carries %+v", got[2].Edge)
+	}
+	if got[3].Edge == nil || got[3].Edge.ID != eid {
+		t.Errorf("RemoveEdge mutation carries %+v", got[3].Edge)
+	}
+
+	// Failed mutations are not observed.
+	if _, err := g.AddEdge(LabelShareholding, a, 999, nil); err == nil {
+		t.Fatal("AddEdge to unknown node succeeded")
+	}
+	if g.RemoveEdge(eid) {
+		t.Fatal("second RemoveEdge succeeded")
+	}
+	if len(got) != len(want) {
+		t.Errorf("failed mutations fired the hook: %d events", len(got))
+	}
+
+	// nil uninstalls.
+	g.SetMutationHook(nil)
+	g.AddNode(LabelPerson, nil)
+	if len(got) != len(want) {
+		t.Error("uninstalled hook still fired")
+	}
+}
+
+// TestCloneDoesNotInheritHook: a clone is an independent graph; its
+// mutations must not be logged as the original's.
+func TestCloneDoesNotInheritHook(t *testing.T) {
+	g := New()
+	fired := 0
+	g.SetMutationHook(func(Mutation) { fired++ })
+	c := g.Clone()
+	c.AddNode(LabelCompany, nil)
+	if fired != 0 {
+		t.Errorf("clone mutation fired original hook %d times", fired)
+	}
+}
+
+func TestRestoreRoundTrip(t *testing.T) {
+	g := New()
+	a := g.AddNode(LabelCompany, Properties{"name": "A"})
+	b := g.AddNode(LabelCompany, Properties{"name": "B"})
+	p := g.AddNode(LabelPerson, Properties{"name": "P", "birth": 1960.0})
+	e0 := g.MustAddEdgeWeighted(a, b, 0.6)
+	e1 := g.MustAddEdgeWeighted(p, a, 0.9)
+	g.RemoveEdge(e0) // leave a hole: edge IDs are sparse after removals
+
+	var nodes []Node
+	for _, id := range g.Nodes() {
+		nodes = append(nodes, *g.Node(id))
+	}
+	var edges []Edge
+	for _, id := range g.Edges() {
+		edges = append(edges, *g.Edge(id))
+	}
+	r, err := Restore(nodes, edges, g.nextNode, g.nextEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumNodes() != 3 || r.NumEdges() != 1 {
+		t.Fatalf("restored %d/%d, want 3/1", r.NumNodes(), r.NumEdges())
+	}
+	if e := r.Edge(e1); e == nil || e.From != p || e.To != a {
+		t.Fatalf("edge %d not preserved: %+v", e1, r.Edge(e1))
+	}
+	if r.Edge(e0) != nil {
+		t.Fatal("removed edge resurrected")
+	}
+	// Fresh IDs continue past the persisted counters — no collision with the
+	// removed edge's ID.
+	nid := r.AddNode(LabelCompany, nil)
+	if nid != g.nextNode {
+		t.Errorf("post-restore node id = %d, want %d", nid, g.nextNode)
+	}
+	eid := r.MustAddEdgeWeighted(nid, a, 0.3)
+	if eid != g.nextEdge {
+		t.Errorf("post-restore edge id = %d, want %d", eid, g.nextEdge)
+	}
+}
+
+func TestRestoreRejectsCorruptState(t *testing.T) {
+	n0 := Node{ID: 0, Label: LabelCompany}
+	n1 := Node{ID: 1, Label: LabelCompany}
+	cases := []struct {
+		name               string
+		nodes              []Node
+		edges              []Edge
+		nextNode, nextEdge int64
+	}{
+		{"duplicate node id", []Node{n0, n0}, nil, 2, 0},
+		{"node id beyond counter", []Node{{ID: 5, Label: LabelCompany}}, nil, 2, 0},
+		{"negative node id", []Node{{ID: -1, Label: LabelCompany}}, nil, 2, 0},
+		{"edge unknown endpoint", []Node{n0}, []Edge{{ID: 0, Label: LabelControl, From: 0, To: 7}}, 1, 1},
+		{"duplicate edge id", []Node{n0, n1},
+			[]Edge{{ID: 0, Label: LabelControl, From: 0, To: 1}, {ID: 0, Label: LabelControl, From: 1, To: 0}}, 2, 1},
+		{"edge id beyond counter", []Node{n0, n1}, []Edge{{ID: 9, Label: LabelControl, From: 0, To: 1}}, 2, 3},
+	}
+	for _, c := range cases {
+		if _, err := Restore(c.nodes, c.edges, NodeID(c.nextNode), EdgeID(c.nextEdge)); err == nil {
+			t.Errorf("%s: Restore accepted corrupt state", c.name)
+		}
+	}
+}

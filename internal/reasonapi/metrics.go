@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"vadalink/internal/datalog"
+	"vadalink/internal/persist"
 )
 
 // latencyBucketsMs are the upper bounds (milliseconds) of the request-latency
@@ -72,6 +73,12 @@ type Metrics struct {
 	// LastChase is the statistics report of the most recent chase any
 	// request triggered (/v1/reason, /v1/explain), nil before the first.
 	LastChase *datalog.ChaseStats `json:"lastChase,omitempty"`
+	// Recovery reports what startup recovery replayed (snapshot generation,
+	// WAL records, torn tails, duration) when the server is backed by a
+	// persistent store; absent on memory-only servers.
+	Recovery *persist.RecoveryInfo `json:"recovery,omitempty"`
+	// Persistence is the live WAL/snapshot counter set of that store.
+	Persistence *persist.Stats `json:"persistence,omitempty"`
 }
 
 // serverMetrics is one Server's registry: a fixed route map built at Handler

@@ -22,6 +22,14 @@ const DefaultDrainTimeout = 10 * time.Second
 // Callers wire this to SIGINT/SIGTERM with signal.NotifyContext, so an
 // operator's Ctrl-C or an orchestrator's TERM drains instead of dropping
 // requests mid-chase.
+//
+// When handler is a Server's Handler, Serve additionally blocks until every
+// in-flight graph mutation (an augment run, an admin snapshot) has finished
+// before returning, even if drainTimeout expired first. Shutdown abandons
+// handlers still running at its deadline — and an abandoned augment would
+// keep mutating the graph while the caller tears down shared state (say,
+// snapshotting it to disk). Mutators are bounded by the request deadline, so
+// this wait is too.
 func Serve(ctx context.Context, ln net.Listener, handler http.Handler, drainTimeout time.Duration) error {
 	if drainTimeout <= 0 {
 		drainTimeout = DefaultDrainTimeout
@@ -39,9 +47,21 @@ func Serve(ctx context.Context, ln net.Listener, handler http.Handler, drainTime
 		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		err := srv.Shutdown(drainCtx)
+		if aw, ok := handler.(mutationAwaiter); ok {
+			if werr := aw.AwaitMutations(context.Background()); werr != nil && err == nil {
+				err = werr
+			}
+		}
 		<-errc // Serve has returned http.ErrServerClosed
 		return err
 	}
+}
+
+// mutationAwaiter is the drain coordination surface of Server.Handler:
+// AwaitMutations returns once no graph mutation is in flight (bounded
+// internally by the server's request deadline plus grace).
+type mutationAwaiter interface {
+	AwaitMutations(context.Context) error
 }
 
 // ListenAndServe listens on addr and calls Serve. It exists so commands can

@@ -13,6 +13,7 @@
 //	POST /v1/reason                     — evaluate a Vadalog program (budgeted)
 //	GET  /v1/graph                      — the property graph as JSON
 //	GET  /v1/explain?from=ID&to=ID      — derivation tree of a control decision
+//	POST /v1/admin/snapshot             — force a durable snapshot (persistence)
 //
 // The server holds one graph, injected at construction; mutation happens
 // only through /v1/augment, which returns 503 + Retry-After when a mutation
@@ -49,6 +50,7 @@ import (
 	"vadalink/internal/embed"
 	"vadalink/internal/faultinject"
 	"vadalink/internal/graphstats"
+	"vadalink/internal/persist"
 	"vadalink/internal/pg"
 	"vadalink/internal/relstore"
 	"vadalink/internal/vadalog"
@@ -94,6 +96,13 @@ type Config struct {
 	// (method, path, status, duration, request ID). nil disables access
 	// logging.
 	Logger *slog.Logger
+
+	// Persist is the durable store backing the graph, when crash-safe
+	// persistence is on. The server then syncs the WAL before acknowledging
+	// a mutation (/v1/augment), serves POST /v1/admin/snapshot, and reports
+	// recovery and persistence state in /v1/metrics. nil keeps the graph
+	// memory-only.
+	Persist *persist.Store
 }
 
 func (c Config) timeout() time.Duration {
@@ -131,6 +140,11 @@ type Server struct {
 	// augMu serializes /v1/augment; TryLock turns contention into 503
 	// instead of an unbounded queue on mu.
 	augMu sync.Mutex
+
+	// activeMut counts in-flight graph mutations (augment runs, admin
+	// snapshots). Serve's drain blocks on it so the graph is quiescent
+	// before the caller tears down shared state.
+	activeMut atomic.Int64
 
 	reqSeq atomic.Uint64
 
@@ -190,6 +204,7 @@ func (s *Server) Handler() http.Handler {
 		{"GET /v1/ubo", s.handleUBO},
 		{"GET /v1/neighborhood", s.handleNeighborhood},
 		{"GET /v1/metrics", s.handleMetrics},
+		{"POST /v1/admin/snapshot", s.handleAdminSnapshot},
 	}
 	if !s.cfg.DisableMetrics {
 		s.metricsOnce.Do(func() {
@@ -291,6 +306,46 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// governedHandler is what Handler returns: the governed mux plus the drain
+// coordination surface Serve type-asserts for.
+type governedHandler struct {
+	http.Handler
+	s *Server
+}
+
+// AwaitMutations blocks until no graph mutation (augment run, admin
+// snapshot) is in flight, bounded by the server's request deadline plus
+// grace. Serve calls it after Shutdown so a timed-out drain cannot abandon a
+// handler that is still writing the graph while the caller tears down shared
+// state.
+func (g *governedHandler) AwaitMutations(ctx context.Context) error {
+	return g.s.awaitMutations(ctx)
+}
+
+func (s *Server) awaitMutations(ctx context.Context) error {
+	bound := s.cfg.timeout()
+	if bound <= 0 {
+		bound = DefaultTimeout
+	}
+	// In-flight mutations run under the request deadline, so they finish
+	// within it; the grace covers post-deadline unwinding and WAL sync.
+	deadline := time.After(bound + 2*time.Second)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.activeMut.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-deadline:
+			return fmt.Errorf("reasonapi: shutdown abandoned %d in-flight mutation(s)", s.activeMut.Load())
+		case <-tick.C:
+		}
+	}
+}
+
 // govern wraps the mux with the observability and resource-governance
 // middleware:
 //
@@ -302,7 +357,7 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 //   - the request context gets the configured wall-clock deadline, which
 //     the chase-backed handlers propagate into the engine.
 func (s *Server) govern(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return &governedHandler{s: s, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := fmt.Sprintf("req-%d", s.reqSeq.Add(1))
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, reqID: id}
@@ -348,7 +403,34 @@ func (s *Server) govern(next http.Handler) http.Handler {
 		}
 		faultinject.Fire(faultinject.SiteAPIHandler)
 		next.ServeHTTP(sw, r)
-	})
+	})}
+}
+
+// handleAdminSnapshot forces a durable snapshot + WAL rotation:
+// POST /v1/admin/snapshot. It takes the same exclusive turn as /v1/augment,
+// so a snapshot never captures a half-applied augmentation.
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
+	ps := s.cfg.Persist
+	if ps == nil {
+		writeErr(w, r, http.StatusNotFound, "not_found", "persistence is not configured on this server")
+		return
+	}
+	if !s.augMu.TryLock() {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfterSeconds()))
+		writeErr(w, r, http.StatusServiceUnavailable, "busy", "a mutation is in progress; retry later")
+		return
+	}
+	defer s.augMu.Unlock()
+	s.activeMut.Add(1)
+	defer s.activeMut.Add(-1)
+	s.mu.Lock()
+	info, err := ps.Snapshot()
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, r, http.StatusInternalServerError, "persist_failed", "snapshot failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // handleMetrics serves the per-endpoint counters and the last chase report:
@@ -358,7 +440,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusNotFound, "not_found", "metrics are disabled on this server")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.lastChase.Load()))
+	m := s.metrics.snapshot(s.lastChase.Load())
+	if ps := s.cfg.Persist; ps != nil {
+		rec, st := ps.Recovery(), ps.Stats()
+		m.Recovery, m.Persistence = &rec, &st
+	}
+	writeJSON(w, http.StatusOK, m)
 }
 
 // truncMeta classifies an interruption error into the JSON metadata of a
@@ -670,9 +757,23 @@ func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.augMu.Unlock()
+	s.activeMut.Add(1)
 	s.mu.Lock()
 	res, err := aug.RunContext(r.Context(), s.g)
 	s.mu.Unlock()
+	// Durability before acknowledgement: whatever the run added (even the
+	// completed rounds of an interrupted run) must be in the WAL and synced
+	// before any response promises it exists.
+	var syncErr error
+	if s.cfg.Persist != nil {
+		syncErr = s.cfg.Persist.Sync()
+	}
+	s.activeMut.Add(-1)
+	if syncErr != nil {
+		writeErr(w, r, http.StatusInternalServerError, "persist_failed",
+			"augmentation ran but its facts could not be made durable: %v", syncErr)
+		return
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			// Completed rounds persist (augmentation is monotone); a retry

@@ -5,6 +5,13 @@
 // Format: a magic header, a format version, then the gob-encoded graph
 // payload. Snapshots are written atomically (temp file + rename) so a crash
 // mid-save never corrupts the previous snapshot.
+//
+// Version 2 (current) preserves node and edge identifiers verbatim plus the
+// graph's internal ID counters, so a write-ahead log recorded against the
+// live graph replays against the restored one with identical identifier
+// assignment (internal/persist depends on this). Version 1 snapshots remain
+// readable; their edge IDs are reassigned densely in snapshot order, as that
+// format always did.
 package store
 
 import (
@@ -19,13 +26,17 @@ import (
 
 const (
 	magic   = "VADALINK-KG"
-	version = 1
+	version = 2
 )
 
-// payload is the gob-encoded snapshot body.
+// payload is the gob-encoded snapshot body. NextNode/NextEdge are the
+// graph's ID counters (version 2; zero in version-1 snapshots, where they
+// are reconstructed as "dense").
 type payload struct {
-	Nodes []nodeRec
-	Edges []edgeRec
+	Nodes    []nodeRec
+	Edges    []edgeRec
+	NextNode int64
+	NextEdge int64
 }
 
 type nodeRec struct {
@@ -57,7 +68,10 @@ func Write(w io.Writer, g *pg.Graph) error {
 	if _, err := w.Write(header); err != nil {
 		return fmt.Errorf("store: writing header: %w", err)
 	}
-	var p payload
+	p := payload{
+		NextNode: int64(g.NextNodeID()),
+		NextEdge: int64(g.NextEdgeID()),
+	}
 	for _, id := range g.Nodes() {
 		n := g.Node(id)
 		p.Nodes = append(p.Nodes, nodeRec{ID: n.ID, Label: n.Label, Props: n.Props})
@@ -72,8 +86,10 @@ func Write(w io.Writer, g *pg.Graph) error {
 	return nil
 }
 
-// Read parses a snapshot produced by Write. Edge identifiers are assigned
-// afresh in snapshot order; node identifiers are preserved.
+// Read parses a snapshot produced by Write. Node and edge identifiers and
+// the graph's ID counters are preserved (version 2); for legacy version-1
+// snapshots edge identifiers are assigned afresh in snapshot order, as
+// before.
 func Read(r io.Reader) (*pg.Graph, error) {
 	header := make([]byte, len(magic)+1)
 	if _, err := io.ReadFull(r, header); err != nil {
@@ -82,17 +98,33 @@ func Read(r io.Reader) (*pg.Graph, error) {
 	if string(header[:len(magic)]) != magic {
 		return nil, fmt.Errorf("store: not a vadalink snapshot (magic %q)", header[:len(magic)])
 	}
-	if got := int(header[len(magic)]); got != version {
-		return nil, fmt.Errorf("store: snapshot version %d not supported (want %d)", got, version)
+	got := int(header[len(magic)])
+	if got != 1 && got != version {
+		return nil, fmt.Errorf("store: snapshot version %d not supported (want 1 or %d)", got, version)
 	}
 	var p payload
 	if err := gob.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("store: decoding graph: %w", err)
 	}
-	// Rebuild through the JSON-restore path semantics: preserve IDs.
-	g := pg.New()
-	if err := rebuild(g, p); err != nil {
-		return nil, err
+	if got == 1 {
+		// Legacy rebuild: preserve node IDs, reassign edge IDs densely.
+		g := pg.New()
+		if err := rebuild(g, p); err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	nodes := make([]pg.Node, len(p.Nodes))
+	for i, n := range p.Nodes {
+		nodes[i] = pg.Node{ID: n.ID, Label: n.Label, Props: pg.Properties(n.Props)}
+	}
+	edges := make([]pg.Edge, len(p.Edges))
+	for i, e := range p.Edges {
+		edges[i] = pg.Edge{ID: e.ID, Label: e.Label, From: e.From, To: e.To, Props: pg.Properties(e.Props)}
+	}
+	g, err := pg.Restore(nodes, edges, pg.NodeID(p.NextNode), pg.EdgeID(p.NextEdge))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
 	}
 	return g, nil
 }

@@ -90,6 +90,57 @@ func TestSaveLoadAtomic(t *testing.T) {
 	}
 }
 
+// TestRoundTripPreservesEdgeIDsAndCounters: version-2 snapshots keep edge
+// identifiers (sparse after removals) and the ID counters, so WAL records
+// recorded against the live graph replay against the restored one.
+func TestRoundTripPreservesEdgeIDsAndCounters(t *testing.T) {
+	g := pg.New()
+	a := g.AddNode(pg.LabelCompany, pg.Properties{"name": "A"})
+	b := g.AddNode(pg.LabelCompany, pg.Properties{"name": "B"})
+	e0 := g.MustAddEdgeWeighted(a, b, 0.5)
+	e1 := g.MustAddEdgeWeighted(b, a, 0.4)
+	g.RemoveEdge(e0)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Edge(e0) != nil {
+		t.Error("removed edge resurrected")
+	}
+	if e := got.Edge(e1); e == nil || e.From != b || e.To != a {
+		t.Fatalf("edge %d not preserved: %+v", e1, got.Edge(e1))
+	}
+	if got.NextNodeID() != g.NextNodeID() || got.NextEdgeID() != g.NextEdgeID() {
+		t.Errorf("counters = %d/%d, want %d/%d",
+			got.NextNodeID(), got.NextEdgeID(), g.NextNodeID(), g.NextEdgeID())
+	}
+}
+
+// TestReadVersion1Compat: a legacy version-1 snapshot (dense node IDs, edge
+// IDs reassigned on load) still reads.
+func TestReadVersion1Compat(t *testing.T) {
+	g, _ := pg.Figure1()
+	var body bytes.Buffer
+	if err := Write(&body, g); err != nil {
+		t.Fatal(err)
+	}
+	raw := body.Bytes()
+	raw[len(magic)] = 1 // rewrite the version byte: payload is gob, v1-decodable
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("v1 read: %d/%d, want %d/%d",
+			got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+}
+
 func TestReadRejectsGarbage(t *testing.T) {
 	cases := [][]byte{
 		nil,

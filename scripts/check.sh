@@ -40,6 +40,24 @@ awk -v c="$apicov" -v f="$API_COVER_FLOOR" 'BEGIN { exit (c + 0 >= f + 0) ? 0 : 
     exit 1
 }
 
+echo "== coverage floor (internal/persist) =="
+# The durability layer is where silent regressions cost real data; hold it
+# at the level the persistence PR established (83.7% at the time).
+PERSIST_COVER_FLOOR="${PERSIST_COVER_FLOOR:-80.0}"
+go test -coverprofile=/tmp/persist.cover ./internal/persist >/dev/null
+pcov="$(go tool cover -func=/tmp/persist.cover | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')"
+echo "internal/persist coverage: ${pcov}% (floor ${PERSIST_COVER_FLOOR}%)"
+awk -v c="$pcov" -v f="$PERSIST_COVER_FLOOR" 'BEGIN { exit (c + 0 >= f + 0) ? 0 : 1 }' || {
+    echo "coverage ${pcov}% fell below the ${PERSIST_COVER_FLOOR}% floor" >&2
+    exit 1
+}
+
+echo "== crash-recovery harness (kill -9 loop) =="
+# 20 consecutive SIGKILLs mid-write; every acknowledged fact must survive and
+# every restart must load a consistent store. Runs under -race on purpose:
+# the WAL's group-commit loop is concurrent with appends.
+go test -race -run '^TestCrashRecoveryLoop$' -v ./internal/persist | grep -E 'survived|PASS|FAIL'
+
 echo "== benchmark smoke (1x) =="
 # Run every regression benchmark once so the harness can't bit-rot; real
 # measurements go through scripts/bench.sh with a time-based BENCHTIME.

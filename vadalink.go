@@ -44,6 +44,7 @@ import (
 	"vadalink/internal/family"
 	"vadalink/internal/graphgen"
 	"vadalink/internal/graphstats"
+	"vadalink/internal/persist"
 	"vadalink/internal/pg"
 	"vadalink/internal/reasonapi"
 	"vadalink/internal/store"
@@ -309,6 +310,36 @@ func SaveSnapshot(path string, g *Graph) error { return store.Save(path, g) }
 
 // LoadSnapshot reads a snapshot written by SaveSnapshot.
 func LoadSnapshot(path string) (*Graph, error) { return store.Load(path) }
+
+// --- crash-safe persistence (WAL + checksummed snapshots; DESIGN.md §9) ---
+
+// DurableStore is a crash-safe property-graph store: every committed graph
+// mutation is captured into a checksummed write-ahead log, full snapshots
+// rotate the log, and recovery replays the latest valid snapshot plus the
+// WAL tail, truncating torn final records. Facts are durable once Sync
+// returns.
+type DurableStore = persist.Store
+
+// DurableOptions tunes a DurableStore — chiefly SyncEvery, the WAL
+// group-commit interval (0 fsyncs every append).
+type DurableOptions = persist.Options
+
+// RecoveryInfo reports what OpenDurable replayed: snapshot generation, WAL
+// records, torn tails truncated, and the recovery duration.
+type RecoveryInfo = persist.RecoveryInfo
+
+// DurableSnapshotInfo reports one DurableStore.Snapshot call.
+type DurableSnapshotInfo = persist.SnapshotInfo
+
+// DurableStats is the live WAL/snapshot counter set of a DurableStore.
+type DurableStats = persist.Stats
+
+// OpenDurable opens the durable store in dir, creating it if empty and
+// recovering crash-surviving state otherwise. Mutations of the returned
+// store's Graph() are change-captured from that point on.
+func OpenDurable(dir string, opts DurableOptions) (*DurableStore, error) {
+	return persist.Open(dir, opts)
+}
 
 // --- temporal dimension (the 2005–2018 register; Example 3.2 intervals) ---
 
