@@ -13,6 +13,8 @@
 //	                   [-max-facts N] [-max-rounds N] [-metrics=true]
 //	                   [-pprof] [-log-format text|json|off]
 //	                   [-data-dir DIR] [-fsync 2ms]
+//	                   [-replicate :7070] [-follow HOST:7070]
+//	                   [-leader-api URL] [-max-staleness 5s]
 //
 // serve applies a per-request wall-clock deadline and an optional chase
 // budget; truncated answers are marked "truncated" in the JSON. SIGINT and
@@ -27,6 +29,14 @@
 // run -in seeds the store; afterwards the durable state is authoritative and
 // -in is ignored. -fsync is the WAL group-commit interval (0 = fsync every
 // append). POST /v1/admin/snapshot forces a snapshot + WAL rotation.
+//
+// -replicate makes this node a replication leader: its WAL is served as a
+// stream on the given address. -follow makes it a read-only follower of the
+// leader at the given address: the graph arrives over the stream into the
+// follower's own durable store, reads carry replication-lag headers (503
+// past -max-staleness), and writes answer 421 with the -leader-api address.
+// GET /v1/healthz is liveness; GET /v1/readyz is readiness (drain state,
+// sticky WAL errors, replication staleness).
 package main
 
 import (
@@ -36,8 +46,10 @@ import (
 	"io"
 	"log"
 	"log/slog"
+	"net"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -338,6 +350,10 @@ func cmdServe(args []string) {
 	logFormat := fs.String("log-format", "text", "access-log format: text | json | off")
 	dataDir := fs.String("data-dir", "", "crash-safe persistence directory (empty = memory-only)")
 	fsync := fs.Duration("fsync", 2*time.Millisecond, "WAL group-commit interval (0 = fsync every append)")
+	replicate := fs.String("replicate", "", "leader mode: serve the WAL as a replication stream on this address (requires -data-dir)")
+	follow := fs.String("follow", "", "follower mode: tail the leader's replication stream at this address (requires -data-dir; serves read-only)")
+	leaderAPI := fs.String("leader-api", "", "leader's API base URL, advertised to clients whose writes hit this follower")
+	maxStaleness := fs.Duration("max-staleness", 0, "follower mode: reads staler than this answer 503 (0 = 5s default, negative = serve regardless)")
 	_ = fs.Parse(args)
 	cfg := vadalink.APIConfig{Timeout: *timeout, MaxRounds: *maxRounds}
 	cfg.Budget.MaxFacts = *maxFacts
@@ -353,9 +369,47 @@ func cmdServe(args []string) {
 		log.Fatalf("unknown -log-format %q (want text, json or off)", *logFormat)
 	}
 
+	if *follow != "" && *dataDir == "" {
+		log.Fatal("-follow requires -data-dir (the follower keeps its own durable copy)")
+	}
+	if *replicate != "" && *dataDir == "" {
+		log.Fatal("-replicate requires -data-dir (the leader ships its WAL)")
+	}
+
+	// SIGINT/SIGTERM drain in-flight requests instead of dropping them; the
+	// same context stops the replication goroutines.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var wg sync.WaitGroup
+
 	var g *vadalink.Graph
 	var ps *vadalink.DurableStore
-	if *dataDir != "" {
+	var fl *vadalink.Follower
+	if *follow != "" {
+		// Follower mode: the graph arrives over the replication stream, so
+		// -in never seeds it. The store recovers whatever an earlier run
+		// replicated and the follower resumes from that position.
+		var err error
+		fl, err = vadalink.OpenFollower(*dataDir, vadalink.FollowerOptions{
+			Leader:    *follow,
+			SyncEvery: *fsync,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Follower = fl
+		cfg.LeaderAPI = *leaderAPI
+		cfg.MaxStaleness = *maxStaleness
+		cfg.Persist = fl.Store()
+		ps = fl.Store()
+		g = fl.Graph()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fl.Run(ctx)
+		}()
+		log.Printf("following %s (recovered to seq %d)", *follow, fl.Seq())
+	} else if *dataDir != "" {
 		var err error
 		ps, err = vadalink.OpenDurable(*dataDir, vadalink.DurableOptions{SyncEvery: *fsync})
 		if err != nil {
@@ -380,14 +434,37 @@ func cmdServe(args []string) {
 	} else {
 		g = loadGraph(*in)
 	}
-	log.Printf("serving reasoning API on %s (%d nodes, %d edges)", *addr, g.NumNodes(), g.NumEdges())
 
-	// SIGINT/SIGTERM drain in-flight requests instead of dropping them.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	if err := vadalink.ServeAPI(ctx, *addr, vadalink.APIHandlerWith(g, cfg)); err != nil {
+	if *replicate != "" {
+		// Leader mode: ship this store's WAL to followers. A follower can
+		// also replicate onward (relay), since it keeps a full WAL of its own.
+		ld := vadalink.NewReplicationLeader(ps, vadalink.ReplicationLeaderOptions{})
+		ln, err := net.Listen("tcp", *replicate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Leader = ld
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ld.Serve(ctx, ln); err != nil {
+				log.Printf("replication leader: %v", err)
+			}
+		}()
+		log.Printf("serving replication stream on %s", ln.Addr())
+	}
+
+	log.Printf("serving reasoning API on %s (%d nodes, %d edges)", *addr, g.NumNodes(), g.NumEdges())
+	var handler = vadalink.APIHandlerWith(g, cfg)
+	if fl != nil {
+		// Let the server adopt the follower's graph and track it across
+		// snapshot bootstraps.
+		handler = vadalink.APIHandlerWith(nil, cfg)
+	}
+	if err := vadalink.ServeAPI(ctx, *addr, handler); err != nil {
 		log.Fatal(err)
 	}
+	wg.Wait() // replication goroutines stop on the same signal context
 	if ps != nil {
 		// Serve has drained (including in-flight mutations), so the graph is
 		// quiescent: compact the WAL into a snapshot and close cleanly. A

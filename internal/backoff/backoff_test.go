@@ -1,0 +1,80 @@
+package backoff
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Without jitter the policy is the plain capped doubling ladder.
+func TestDeterministicLadder(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Max: 50 * time.Millisecond}
+	want := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 16 * time.Millisecond, 32 * time.Millisecond,
+		50 * time.Millisecond, 50 * time.Millisecond,
+	}
+	for i, w := range want {
+		if d := p.Delay(i); d != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, d, w)
+		}
+	}
+}
+
+// Jittered delays stay inside [d*(1-Jitter), d] for the capped ladder, and a
+// seeded source actually spreads them (not every draw identical).
+func TestJitterBounds(t *testing.T) {
+	p := Policy{
+		Base:   time.Millisecond,
+		Max:    100 * time.Millisecond,
+		Jitter: 0.5,
+		Rand:   rand.New(rand.NewSource(42)),
+	}
+	distinct := map[time.Duration]bool{}
+	for attempt := 0; attempt < 10; attempt++ {
+		ceil := time.Millisecond << attempt
+		if ceil > p.Max {
+			ceil = p.Max
+		}
+		floor := ceil / 2
+		for i := 0; i < 50; i++ {
+			d := p.Delay(attempt)
+			if d < floor || d > ceil {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", attempt, d, floor, ceil)
+			}
+			distinct[d] = true
+		}
+	}
+	if len(distinct) < 10 {
+		t.Errorf("jitter produced only %d distinct delays over 500 draws", len(distinct))
+	}
+}
+
+// Out-of-range jitter fractions clamp instead of panicking or going
+// negative.
+func TestJitterClamped(t *testing.T) {
+	for _, j := range []float64{-1, 2} {
+		p := Policy{Base: 10 * time.Millisecond, Max: 10 * time.Millisecond, Jitter: j,
+			Rand: rand.New(rand.NewSource(1))}
+		d := p.Delay(3)
+		if d < 0 || d > 10*time.Millisecond {
+			t.Errorf("Jitter=%v: Delay = %v outside [0, 10ms]", j, d)
+		}
+	}
+}
+
+// A zero/negative base never sleeps negative.
+func TestZeroBase(t *testing.T) {
+	p := Policy{}
+	if d := p.Delay(5); d != 0 {
+		t.Errorf("zero policy Delay = %v, want 0", d)
+	}
+}
+
+// Huge attempt counts don't overflow into negative delays.
+func TestLargeAttemptNoOverflow(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Minute}
+	if d := p.Delay(500); d != time.Minute {
+		t.Errorf("Delay(500) = %v, want %v", d, time.Minute)
+	}
+}

@@ -11,14 +11,19 @@ import (
 	"io"
 	"time"
 
+	"vadalink/internal/backoff"
 	"vadalink/internal/faultinject"
 )
 
-// Backoff parameters of the input-stream retry loop.
+// Backoff parameters of the input-stream retry loop. The schedule is the
+// shared capped-exponential policy with jitter (internal/backoff): many ETL
+// jobs restarted together — or a fleet of replicas re-running the same
+// ingest after a failover — must not retry a shared upstream in lockstep.
 const (
 	retryMaxAttempts = 5
 	retryBaseDelay   = time.Millisecond
 	retryMaxDelay    = 50 * time.Millisecond
+	retryJitter      = 0.5
 )
 
 // transientError is the contract for retryable read failures, matching the
@@ -36,8 +41,9 @@ func isTransient(err error) bool {
 // that returned data is never retried (the bytes were consumed); only a
 // clean (0, err) failure is, so no input is ever duplicated or dropped.
 type retryReader struct {
-	r     io.Reader
-	sleep func(time.Duration) // injectable for tests
+	r       io.Reader
+	sleep   func(time.Duration) // injectable for tests
+	backoff backoff.Policy
 }
 
 // newRetryReader wraps r; nil stays nil so Load's absent-stream convention
@@ -46,11 +52,14 @@ func newRetryReader(r io.Reader) io.Reader {
 	if r == nil {
 		return nil
 	}
-	return &retryReader{r: r, sleep: time.Sleep}
+	return &retryReader{
+		r:       r,
+		sleep:   time.Sleep,
+		backoff: backoff.Policy{Base: retryBaseDelay, Max: retryMaxDelay, Jitter: retryJitter},
+	}
 }
 
 func (rr *retryReader) Read(p []byte) (int, error) {
-	delay := retryBaseDelay
 	for attempt := 0; ; attempt++ {
 		// The injection site stands in for the underlying stream failing:
 		// an armed fault is indistinguishable from a short read off a flaky
@@ -65,10 +74,6 @@ func (rr *retryReader) Read(p []byte) (int, error) {
 		if !isTransient(err) || attempt+1 >= retryMaxAttempts {
 			return n, err
 		}
-		rr.sleep(delay)
-		delay *= 2
-		if delay > retryMaxDelay {
-			delay = retryMaxDelay
-		}
+		rr.sleep(rr.backoff.Delay(attempt))
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"vadalink/internal/backoff"
 	"vadalink/internal/faultinject"
 )
 
@@ -78,13 +79,15 @@ func TestPermanentErrorAbortsImmediately(t *testing.T) {
 	}
 }
 
-// Unit-level backoff shape: delays double from the base and cap at the
-// maximum, and a read that returned data is never retried.
+// Unit-level backoff shape: delays grow from the base, cap at the maximum,
+// and carry jitter — each sleep lands in [ladder/2, ladder] for the capped
+// doubling ladder, and a read that returned data is never retried.
 func TestRetryReaderBackoffSchedule(t *testing.T) {
 	var delays []time.Duration
 	rr := &retryReader{
-		r:     strings.NewReader("irrelevant"),
-		sleep: func(d time.Duration) { delays = append(delays, d) },
+		r:       strings.NewReader("irrelevant"),
+		sleep:   func(d time.Duration) { delays = append(delays, d) },
+		backoff: backoff.Policy{Base: retryBaseDelay, Max: retryMaxDelay, Jitter: retryJitter},
 	}
 	calls := 0
 	faultinject.SetErr(faultinject.SiteIORead, func() error {
@@ -105,12 +108,12 @@ func TestRetryReaderBackoffSchedule(t *testing.T) {
 		t.Fatalf("slept %d times, want %d", len(delays), retryMaxAttempts-1)
 	}
 	for i, d := range delays {
-		want := retryBaseDelay << i
-		if want > retryMaxDelay {
-			want = retryMaxDelay
+		ceil := retryBaseDelay << i
+		if ceil > retryMaxDelay {
+			ceil = retryMaxDelay
 		}
-		if d != want {
-			t.Errorf("delay %d = %v, want %v", i, d, want)
+		if d < ceil/2 || d > ceil {
+			t.Errorf("delay %d = %v outside jitter window [%v, %v]", i, d, ceil/2, ceil)
 		}
 	}
 }

@@ -47,6 +47,28 @@ const (
 	// that window: the temp file is left behind, the old snapshot stays
 	// authoritative.
 	SitePersistRename = "persist.rename"
+
+	// SiteReplAccept fires when the replication leader accepts a follower
+	// connection (internal/replication). An error hook closes the connection
+	// immediately — a leader refusing or crashing at accept time.
+	SiteReplAccept = "replication.accept"
+	// SiteReplSend fires before the leader writes a protocol message to a
+	// follower (internal/replication). An error hook makes the leader write
+	// only half the message and drop the connection, simulating a stream cut
+	// mid-frame.
+	SiteReplSend = "replication.send"
+	// SiteReplFrame fires as the leader ships a WAL frame
+	// (internal/replication). An error hook flips a payload byte on the wire,
+	// so the follower's CRC re-check must catch it.
+	SiteReplFrame = "replication.frame"
+	// SiteReplApply fires before the follower applies a received frame
+	// (internal/replication). Plain hooks here slow the follower down to
+	// build up replication lag.
+	SiteReplApply = "replication.apply"
+	// SiteReplDial fires before the follower dials the leader
+	// (internal/replication). Error hooks simulate an unreachable leader to
+	// exercise the reconnect backoff.
+	SiteReplDial = "replication.dial"
 )
 
 // Fn is an injected behavior. It may sleep, panic, or do nothing.

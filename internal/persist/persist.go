@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vadalink/internal/pg"
@@ -101,8 +102,28 @@ type Store struct {
 	gen  uint64
 	rec  RecoveryInfo
 
+	// seq is the replication sequence number: the count of mutation records
+	// ever applied to this graph (snapshot state included). It is a pure
+	// function of graph state — see SeqOfGraph — maintained incrementally
+	// here so readers never touch the graph's counters concurrently with a
+	// mutator. base is seq as of the current generation's snapshot, i.e. the
+	// sequence number the first frame of the current WAL follows.
+	seq  atomic.Int64
+	base int64
+
 	snapshots int64
 	capErr    error // first record-capture failure (sticky, surfaced by Sync)
+}
+
+// SeqOfGraph computes the replication sequence number of a graph: the total
+// number of mutation records (AddNode, AddEdge, RemoveEdge) ever applied to
+// reach its state. Each AddNode advances the node-ID counter, each AddEdge
+// the edge-ID counter, and each RemoveEdge widens the gap between edges
+// ever created and edges live — so the count is derivable from any graph
+// alone, with no position file to keep in sync. A follower recovering from
+// kill -9 computes its replication position from its recovered graph.
+func SeqOfGraph(g *pg.Graph) int64 {
+	return int64(g.NextNodeID()) + 2*int64(g.NextEdgeID()) - int64(g.NumEdges())
 }
 
 // Open recovers the store in dir (creating it if empty) and arms change
@@ -141,6 +162,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	// previous generation's log — records carry explicit IDs, so the replay
 	// either reproduces exactly the state the log describes or fails.
 	maxGen := s.rec.SnapshotGen
+	perGen := make(map[uint64]int, len(wals))
 	for _, wg := range wals {
 		if wg < s.rec.SnapshotGen {
 			continue
@@ -152,6 +174,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
+		perGen[wg] = n
 		s.rec.WALFiles++
 		s.rec.RecordsReplayed += n
 		if torn {
@@ -161,6 +184,8 @@ func Open(dir string, opts Options) (*Store, error) {
 
 	s.g = g
 	s.gen = maxGen
+	s.seq.Store(SeqOfGraph(g))
+	s.base = s.seq.Load() - int64(perGen[maxGen])
 	w, err := openWAL(walPath(dir, s.gen), opts.SyncEvery)
 	if err != nil {
 		return nil, err
@@ -193,6 +218,7 @@ func Open(dir string, opts Options) (*Store, error) {
 // and surface on the next Sync — the mutation already happened in memory,
 // so the only honest report is "stop acknowledging".
 func (s *Store) capture(m pg.Mutation) {
+	s.seq.Add(1)
 	rec, err := recordFor(m)
 	if err == nil {
 		err = s.wal.Append(rec)
@@ -236,33 +262,95 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 	if s.capErr != nil {
 		return info, s.capErr
 	}
-	// Everything the old generation's log holds must be down before the
-	// snapshot that supersedes it is cut.
-	if err := s.wal.Sync(); err != nil {
-		return info, err
-	}
-	_, n, err := writeSnapshot(s.dir, s.gen+1, s.g)
+	n, err := s.rotateLocked()
 	if err != nil {
 		return info, err
 	}
 	info.Bytes = n
+	info.DurationMillis = time.Since(start).Milliseconds()
+	return info, nil
+}
+
+// rotateLocked cuts a snapshot of the current graph as generation gen+1,
+// switches the WAL to that generation and deletes the superseded files.
+// The caller holds s.mu and excludes concurrent graph mutations.
+func (s *Store) rotateLocked() (int64, error) {
+	// Everything the old generation's log holds must be down before the
+	// snapshot that supersedes it is cut.
+	if err := s.wal.Sync(); err != nil {
+		return 0, err
+	}
+	_, n, err := writeSnapshot(s.dir, s.gen+1, s.g)
+	if err != nil {
+		return 0, err
+	}
 	w, err := openWAL(walPath(s.dir, s.gen+1), s.opts.SyncEvery)
 	if err != nil {
-		return info, err
+		return 0, err
 	}
 	old := s.wal
 	oldGen := s.gen
 	s.wal = w
 	s.gen++
 	s.snapshots++
+	// The new snapshot holds every record logged so far: the fresh WAL's
+	// first frame will carry sequence number base+1.
+	s.base = s.seq.Load()
 	_ = old.Close()
 	os.Remove(walPath(s.dir, oldGen))
 	if oldGen > 0 {
 		os.Remove(snapPath(s.dir, oldGen))
 	}
-	info.DurationMillis = time.Since(start).Milliseconds()
-	return info, nil
+	return n, nil
 }
+
+// ReplaceGraph swaps the store's graph for g wholesale and makes the new
+// state durable as a fresh snapshot generation — the follower-side half of a
+// replication snapshot bootstrap: a replica that lagged past the leader's
+// log truncation (or diverged ahead of a restarted leader) adopts the
+// leader's snapshot and resumes tailing from its sequence number. The caller
+// must exclude concurrent mutations and readers for the duration (hold the
+// serving tier's write lock), and must stop using the previous Graph().
+func (s *Store) ReplaceGraph(g *pg.Graph) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capErr != nil {
+		return s.capErr
+	}
+	s.g.SetMutationHook(nil)
+	s.g = g
+	g.SetMutationHook(s.capture)
+	s.seq.Store(SeqOfGraph(g))
+	_, err := s.rotateLocked()
+	return err
+}
+
+// Seq returns the store's replication sequence number: the count of mutation
+// records ever applied to its graph. Safe to call concurrently with
+// mutations (the counter is atomic); a frame with sequence number N is the
+// Nth record ever logged.
+func (s *Store) Seq() int64 { return s.seq.Load() }
+
+// Position reports the store's replication position: the current WAL
+// generation, the sequence number its snapshot covers (base — the current
+// WAL's frames carry sequence numbers base+1..seq) and the current sequence
+// number. gen and base are read together under the store lock so a
+// concurrent rotation cannot tear them.
+func (s *Store) Position() (gen uint64, base, seq int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gen, s.base, s.seq.Load()
+}
+
+// WALFile returns the path of the log file of a generation. The file exists
+// for the current generation (and may be deleted at any rotation); the
+// replication leader streams it.
+func (s *Store) WALFile(gen uint64) string { return walPath(s.dir, gen) }
+
+// SnapshotFile returns the path of a generation's snapshot file. Generation
+// 0 has none (stores are born empty); the current generation's snapshot
+// exists until the next rotation supersedes it.
+func (s *Store) SnapshotFile(gen uint64) string { return snapPath(s.dir, gen) }
 
 // Import seeds a freshly opened, still-empty store with g: the store adopts
 // the graph, arms change capture on it and cuts an initial snapshot so the
@@ -276,6 +364,7 @@ func (s *Store) Import(g *pg.Graph) error {
 	s.g.SetMutationHook(nil)
 	s.g = g
 	g.SetMutationHook(s.capture)
+	s.seq.Store(SeqOfGraph(g))
 	s.mu.Unlock()
 	_, err := s.Snapshot()
 	return err

@@ -265,6 +265,14 @@ func recordFor(m pg.Mutation) (Record, error) {
 	return Record{}, fmt.Errorf("persist: unknown mutation kind %d", m.Kind)
 }
 
+// Apply replays one record onto g under the same discipline as recovery:
+// the graph must assign exactly the identifiers the record claims, or the
+// record does not belong on this base state. The replication follower runs
+// every shipped frame through it, so a stream applied out of order — or to
+// a replica that silently diverged — fails loudly instead of weaving a
+// graph the leader never had.
+func Apply(g *pg.Graph, r Record) error { return apply(g, r) }
+
 // apply replays one record onto g, asserting that the graph assigns the
 // identifiers the record claims. A mismatch means the log does not belong to
 // this base state — corrupt, refuse.

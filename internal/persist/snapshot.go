@@ -87,23 +87,35 @@ func readSnapshot(path string) (*pg.Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("persist: reading snapshot: %w", err)
 	}
+	g, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("persist: snapshot %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// DecodeSnapshot verifies and decodes the contents of a snapshot file
+// (VKGSNAP1 envelope). The replication follower runs the bytes a leader
+// ships through it, so a snapshot corrupted on the wire is rejected by the
+// same checks that reject one corrupted on disk.
+func DecodeSnapshot(data []byte) (*pg.Graph, error) {
 	if len(data) < len(snapMagic)+snapTrailerLen {
-		return nil, fmt.Errorf("persist: snapshot %s too short (%d bytes)", path, len(data))
+		return nil, fmt.Errorf("persist: snapshot too short (%d bytes)", len(data))
 	}
 	if string(data[:len(snapMagic)]) != snapMagic {
-		return nil, fmt.Errorf("persist: %s is not a snapshot (magic %q)", path, data[:len(snapMagic)])
+		return nil, fmt.Errorf("persist: not a snapshot (magic %q)", data[:len(snapMagic)])
 	}
 	payload := data[len(snapMagic) : len(data)-snapTrailerLen]
 	trailer := data[len(data)-snapTrailerLen:]
 	if wantLen := binary.LittleEndian.Uint64(trailer[0:8]); wantLen != uint64(len(payload)) {
-		return nil, fmt.Errorf("persist: snapshot %s length %d != trailer %d", path, len(payload), wantLen)
+		return nil, fmt.Errorf("persist: snapshot length %d != trailer %d", len(payload), wantLen)
 	}
 	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(trailer[8:12]); got != want {
-		return nil, fmt.Errorf("persist: snapshot %s checksum %08x != trailer %08x", path, got, want)
+		return nil, fmt.Errorf("persist: snapshot checksum %08x != trailer %08x", got, want)
 	}
 	g, err := store.Read(bytes.NewReader(payload))
 	if err != nil {
-		return nil, fmt.Errorf("persist: snapshot %s: %w", path, err)
+		return nil, fmt.Errorf("persist: snapshot payload: %w", err)
 	}
 	return g, nil
 }

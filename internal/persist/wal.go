@@ -213,6 +213,39 @@ func (w *walWriter) stats() (appends, syncs, bytes int64) {
 	return w.appends, w.syncs, w.bytes
 }
 
+// NextFrame examines the head of data for one complete, CRC-valid WAL frame
+// and returns its total length (header + payload). ok is false when the
+// bytes at the head are not yet (or never will be) a whole valid frame — a
+// short header, an impossible length, a short payload or a checksum
+// mismatch all look the same from here: wait for more bytes or give up,
+// the caller knows which. The replication leader uses it to cut frames out
+// of a growing log file; the follower to validate frames off the wire.
+func NextFrame(data []byte) (frameLen int, ok bool) {
+	if len(data) < frameHeaderLen {
+		return 0, false
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if n > maxFramePayload || int(n) > len(data)-frameHeaderLen {
+		return 0, false
+	}
+	payload := data[frameHeaderLen : frameHeaderLen+int(n)]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[4:8]) {
+		return 0, false
+	}
+	return frameHeaderLen + int(n), true
+}
+
+// DecodeFrame decodes exactly one complete frame into its Record. The frame
+// must be whole (NextFrame-validated length equal to len(frame)); anything
+// else — including a CRC-valid payload that does not decode — is corruption.
+func DecodeFrame(frame []byte) (Record, error) {
+	n, ok := NextFrame(frame)
+	if !ok || n != len(frame) {
+		return Record{}, fmt.Errorf("persist: corrupt frame (%d bytes)", len(frame))
+	}
+	return decodeRecord(frame[frameHeaderLen:n])
+}
+
 // scanFrames walks the framed log in data, calling fn for each payload that
 // checks out. It returns the byte offset up to which the log is valid and
 // whether the tail beyond that offset is torn (short header, impossible

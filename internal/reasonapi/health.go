@@ -1,0 +1,125 @@
+package reasonapi
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Health and readiness probes, plus the follower serving gate.
+//
+// /v1/healthz is pure liveness: the process is up and the handler runs.
+// /v1/readyz is readiness to serve correct answers: recovery finished (the
+// store opened at all), the server is not draining, the WAL has not gone
+// fail-stop on a sticky fsync error, and — on a follower — replication is
+// inside the staleness bound. Orchestrators point traffic at readyz and
+// restarts at healthz; the two disagree exactly when restarting would make
+// things worse.
+
+// handleHealthz answers liveness: GET /v1/healthz. It is deliberately
+// unconditional — a stale follower or a fail-stopped WAL is a node that
+// should stop RECEIVING traffic (readyz), not a node to kill (healthz).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// readyCheck is one named readiness verdict in the /v1/readyz body.
+type readyCheck struct {
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// handleReadyz answers readiness: GET /v1/readyz. 200 when every check
+// passes, 503 with the failing checks named otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	checks := map[string]readyCheck{}
+	ready := true
+	fail := func(name, detail string) {
+		checks[name] = readyCheck{OK: false, Detail: detail}
+		ready = false
+	}
+
+	if s.draining.Load() {
+		fail("draining", "server is shutting down")
+	} else {
+		checks["draining"] = readyCheck{OK: true, Detail: "serving"}
+	}
+
+	if ps := s.cfg.Persist; ps != nil {
+		st := ps.Stats()
+		if st.LastError != "" {
+			// The WAL is fail-stop: every future mutation acknowledgement
+			// would lie about durability. Reads still work; writes must go
+			// elsewhere.
+			fail("wal", "persistence is fail-stopped: "+st.LastError)
+		} else {
+			checks["wal"] = readyCheck{OK: true}
+		}
+		rec := ps.Recovery()
+		checks["recovery"] = readyCheck{OK: true,
+			Detail: "replayed " + strconv.Itoa(rec.RecordsReplayed) + " records in " +
+				strconv.FormatInt(rec.DurationMillis, 10) + "ms"}
+	}
+
+	if fl := s.cfg.Follower; fl != nil {
+		st := fl.Status()
+		bound := s.cfg.maxStaleness()
+		detail := "seq " + strconv.FormatInt(st.Seq, 10) +
+			", lag " + strconv.FormatInt(st.LagRecords, 10) +
+			", staleness " + strconv.FormatInt(st.StalenessMS, 10) + "ms"
+		switch {
+		case !st.EverSynced:
+			fail("replication", "never reached parity with the leader ("+detail+")")
+		case bound > 0 && st.Staleness > bound:
+			fail("replication", "past staleness bound ("+detail+")")
+		default:
+			checks["replication"] = readyCheck{OK: true, Detail: detail}
+		}
+	}
+
+	status := http.StatusOK
+	body := map[string]any{"status": "ready", "checks": checks}
+	if !ready {
+		status = http.StatusServiceUnavailable
+		body["status"] = "unready"
+		body["code"] = "not_ready"
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfterSeconds()))
+	}
+	writeJSON(w, status, body)
+}
+
+// followerGate enforces read-only replica semantics in front of the mux.
+// It reports true when it answered the request itself.
+func (s *Server) followerGate(w http.ResponseWriter, r *http.Request) (handled bool) {
+	p := r.URL.Path
+	// Probes, metrics and debug surfaces describe THIS node and always
+	// answer locally, however stale the data is.
+	if p == "/v1/healthz" || p == "/v1/readyz" || p == "/v1/metrics" || strings.HasPrefix(p, "/debug/") {
+		return false
+	}
+	// Writes belong on the leader. 421 Misdirected Request carries the
+	// leader's address so a client can re-issue without a discovery step.
+	if p == "/v1/augment" || strings.HasPrefix(p, "/v1/admin/") {
+		writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+			"error":     "this node is a read-only follower; send writes to the leader",
+			"code":      "not_leader",
+			"requestID": requestIDFrom(r),
+			"leader":    s.cfg.LeaderAPI,
+		})
+		return true
+	}
+	// Reads: stamp replication position so clients can reason about
+	// read-your-writes, and refuse only past the staleness bound.
+	st := s.cfg.Follower.Status()
+	w.Header().Set("X-Replication-Lag", strconv.FormatInt(st.LagRecords, 10))
+	w.Header().Set("X-Replication-Staleness-Ms", strconv.FormatInt(st.StalenessMS, 10))
+	bound := s.cfg.maxStaleness()
+	if bound > 0 && (!st.EverSynced || st.Staleness > bound) {
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfterSeconds()))
+		writeErr(w, r, http.StatusServiceUnavailable, "stale_replica",
+			"replica is stale: lag %d records, staleness %dms (bound %s)",
+			st.LagRecords, st.StalenessMS, bound)
+		return true
+	}
+	return false
+}

@@ -10,6 +10,7 @@ import (
 
 	"vadalink/internal/datalog"
 	"vadalink/internal/persist"
+	"vadalink/internal/replication"
 )
 
 // latencyBucketsMs are the upper bounds (milliseconds) of the request-latency
@@ -79,6 +80,12 @@ type Metrics struct {
 	Recovery *persist.RecoveryInfo `json:"recovery,omitempty"`
 	// Persistence is the live WAL/snapshot counter set of that store.
 	Persistence *persist.Stats `json:"persistence,omitempty"`
+	// Replication is the follower's live position (seq, lag, staleness,
+	// reconnects) when the server runs in read-only replica mode.
+	Replication *replication.FollowerStatus `json:"replication,omitempty"`
+	// ReplicationLeader is the stream-serving side (connected followers,
+	// frames shipped) when this process is the replication leader.
+	ReplicationLeader *replication.LeaderStatus `json:"replicationLeader,omitempty"`
 }
 
 // serverMetrics is one Server's registry: a fixed route map built at Handler

@@ -44,6 +44,12 @@ func Serve(ctx context.Context, ln net.Listener, handler http.Handler, drainTime
 		}
 		return err
 	case <-ctx.Done():
+		// Flip readiness first: /v1/readyz answers 503 from here on, so a
+		// load balancer that probes during the drain window stops routing
+		// new traffic to a listener that is about to close.
+		if dn, ok := handler.(drainNotifier); ok {
+			dn.StartDrain()
+		}
 		drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		err := srv.Shutdown(drainCtx)
@@ -62,6 +68,12 @@ func Serve(ctx context.Context, ln net.Listener, handler http.Handler, drainTime
 // internally by the server's request deadline plus grace).
 type mutationAwaiter interface {
 	AwaitMutations(context.Context) error
+}
+
+// drainNotifier lets Serve tell the handler that shutdown has begun, so the
+// readiness probe can fail before the listener stops accepting.
+type drainNotifier interface {
+	StartDrain()
 }
 
 // ListenAndServe listens on addr and calls Serve. It exists so commands can

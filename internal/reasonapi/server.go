@@ -14,6 +14,8 @@
 //	GET  /v1/graph                      — the property graph as JSON
 //	GET  /v1/explain?from=ID&to=ID      — derivation tree of a control decision
 //	POST /v1/admin/snapshot             — force a durable snapshot (persistence)
+//	GET  /v1/healthz                    — liveness probe (always 200)
+//	GET  /v1/readyz                     — readiness probe (drain, WAL, replication)
 //
 // The server holds one graph, injected at construction; mutation happens
 // only through /v1/augment, which returns 503 + Retry-After when a mutation
@@ -53,6 +55,7 @@ import (
 	"vadalink/internal/persist"
 	"vadalink/internal/pg"
 	"vadalink/internal/relstore"
+	"vadalink/internal/replication"
 	"vadalink/internal/vadalog"
 )
 
@@ -103,6 +106,39 @@ type Config struct {
 	// recovery and persistence state in /v1/metrics. nil keeps the graph
 	// memory-only.
 	Persist *persist.Store
+
+	// Follower puts the server in read-only replica mode: reads are served
+	// from the follower's graph (with replication lag and staleness
+	// headers), writes are rejected with a typed redirect-to-leader error,
+	// and reads staler than MaxStaleness get 503 + Retry-After. The server
+	// wires its own read lock and graph pointer into the follower at
+	// construction; callers only need to Run it.
+	Follower *replication.Follower
+
+	// LeaderAPI is the leader's API base address ("host:port" or URL)
+	// advertised in not_leader error envelopes so clients can redirect
+	// their writes. Only meaningful with Follower.
+	LeaderAPI string
+
+	// MaxStaleness bounds how stale a follower read may be: when the
+	// follower has not observed parity with the leader for longer than
+	// this, reads answer 503 with code "stale_replica". 0 means 5s;
+	// negative serves reads regardless of staleness. Only meaningful with
+	// Follower.
+	MaxStaleness time.Duration
+
+	// Leader is the replication leader serving this store's WAL, when this
+	// process is the replication leader. Used only for /v1/metrics and
+	// /v1/readyz reporting; the leader serves its stream on its own
+	// listener.
+	Leader *replication.Leader
+}
+
+func (c Config) maxStaleness() time.Duration {
+	if c.MaxStaleness == 0 {
+		return 5 * time.Second
+	}
+	return c.MaxStaleness
 }
 
 func (c Config) timeout() time.Duration {
@@ -148,6 +184,10 @@ type Server struct {
 
 	reqSeq atomic.Uint64
 
+	// draining flips when shutdown begins; /v1/readyz then reports unready
+	// so load balancers stop sending traffic before the listener closes.
+	draining atomic.Bool
+
 	// metrics is the per-endpoint counter registry (nil when
 	// Config.DisableMetrics); metricsOnce builds it on the first Handler
 	// call. lastChase is the statistics report of the most recent
@@ -161,9 +201,22 @@ type Server struct {
 // deadline, unlimited facts).
 func NewServer(g *pg.Graph) *Server { return NewServerWith(g, Config{}) }
 
-// NewServerWith wraps a graph with explicit resource governance.
+// NewServerWith wraps a graph with explicit resource governance. In
+// follower mode (cfg.Follower set) g may be nil — the server serves the
+// follower's recovered graph and tracks it across snapshot bootstraps.
 func NewServerWith(g *pg.Graph, cfg Config) *Server {
-	return &Server{g: g, cfg: cfg}
+	s := &Server{g: g, cfg: cfg}
+	if fl := cfg.Follower; fl != nil {
+		if s.g == nil {
+			s.g = fl.Graph()
+		}
+		// Frames apply under the server's write lock, so readers never see
+		// a half-applied mutation; a bootstrap re-points the served graph
+		// inside the same critical section.
+		fl.SetLock(&s.mu)
+		fl.OnSwap(func(ng *pg.Graph) { s.g = ng })
+	}
+	return s
 }
 
 // engineOptions is the budgeted engine configuration for request-triggered
@@ -205,6 +258,8 @@ func (s *Server) Handler() http.Handler {
 		{"GET /v1/neighborhood", s.handleNeighborhood},
 		{"GET /v1/metrics", s.handleMetrics},
 		{"POST /v1/admin/snapshot", s.handleAdminSnapshot},
+		{"GET /v1/healthz", s.handleHealthz},
+		{"GET /v1/readyz", s.handleReadyz},
 	}
 	if !s.cfg.DisableMetrics {
 		s.metricsOnce.Do(func() {
@@ -322,6 +377,11 @@ func (g *governedHandler) AwaitMutations(ctx context.Context) error {
 	return g.s.awaitMutations(ctx)
 }
 
+// StartDrain marks the server as draining: /v1/readyz flips to 503 so load
+// balancers pull the node before in-flight requests are cut off. Serve calls
+// it the moment its context is cancelled, before Shutdown.
+func (g *governedHandler) StartDrain() { g.s.draining.Store(true) }
+
 func (s *Server) awaitMutations(ctx context.Context) error {
 	bound := s.cfg.timeout()
 	if bound <= 0 {
@@ -402,6 +462,9 @@ func (s *Server) govern(next http.Handler) http.Handler {
 			r = r.WithContext(ctx)
 		}
 		faultinject.Fire(faultinject.SiteAPIHandler)
+		if s.cfg.Follower != nil && s.followerGate(sw, r) {
+			return
+		}
 		next.ServeHTTP(sw, r)
 	})}
 }
@@ -444,6 +507,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if ps := s.cfg.Persist; ps != nil {
 		rec, st := ps.Recovery(), ps.Stats()
 		m.Recovery, m.Persistence = &rec, &st
+	}
+	if fl := s.cfg.Follower; fl != nil {
+		st := fl.Status()
+		m.Replication = &st
+	}
+	if ld := s.cfg.Leader; ld != nil {
+		st := ld.Status()
+		m.ReplicationLeader = &st
 	}
 	writeJSON(w, http.StatusOK, m)
 }

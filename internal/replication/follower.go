@@ -1,0 +1,399 @@
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vadalink/internal/backoff"
+	"vadalink/internal/faultinject"
+	"vadalink/internal/persist"
+	"vadalink/internal/pg"
+)
+
+// FollowerOptions tunes the tailing side of replication.
+type FollowerOptions struct {
+	// Leader is the leader's replication address (host:port). Ignored when
+	// LeaderFunc is set.
+	Leader string
+	// LeaderFunc, when set, is called before every dial; it lets a follower
+	// track a leader whose address changes across restarts.
+	LeaderFunc func() (string, error)
+	// DialTimeout bounds one connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// ReadTimeout bounds one read on an established stream; a healthy leader
+	// heartbeats well inside it, so expiry means the leader is gone without
+	// the kernel noticing. Default 10s.
+	ReadTimeout time.Duration
+	// SyncEvery is the follower's own WAL group-commit interval (see
+	// persist.Options).
+	SyncEvery time.Duration
+	// Backoff paces reconnect attempts. Zero value gets a sane default
+	// (50ms base doubling to 2s, half-jittered).
+	Backoff backoff.Policy
+	// OnBackoff, when set, observes every reconnect delay (attempt number
+	// and chosen delay). Test instrumentation.
+	OnBackoff func(attempt int, d time.Duration)
+	// OnGraphSwap, when set, is called — under the follower's apply lock —
+	// whenever a snapshot bootstrap replaces the graph object. Serving
+	// layers that cache the *pg.Graph pointer use it to re-point.
+	OnGraphSwap func(*pg.Graph)
+	// Logger receives connection lifecycle events. Default: discard.
+	Logger *slog.Logger
+}
+
+// FollowerStatus is a snapshot of a follower's replication state.
+type FollowerStatus struct {
+	Connected     bool   `json:"connected"`
+	Seq           int64  `json:"seq"`
+	LeaderSeq     int64  `json:"leaderSeq"`
+	LagRecords    int64  `json:"lagRecords"`
+	EverSynced    bool   `json:"everSynced"`
+	StalenessMS   int64  `json:"stalenessMillis"`
+	Reconnects    int64  `json:"reconnects"`
+	Bootstraps    int64  `json:"bootstraps"`
+	FramesApplied int64  `json:"framesApplied"`
+	BadFrames     int64  `json:"badFrames"`
+	LastError     string `json:"lastError,omitempty"`
+
+	// Staleness is the structured form of StalenessMS (not serialized).
+	Staleness time.Duration `json:"-"`
+}
+
+// Follower tails a leader's WAL stream into a local durable store. Every
+// applied frame flows through the same mutation-capture path as a leader
+// write, so the follower's own WAL and snapshots make its position —
+// persist.SeqOfGraph of whatever graph it recovers — survive kill -9 with
+// no separate position file to tear.
+type Follower struct {
+	store *persist.Store
+	opts  FollowerOptions
+
+	// lock serializes frame application against readers. Defaults to a
+	// private mutex; a serving layer hands in the write side of its own
+	// RWMutex via SetLock so reads exclude half-applied mutations.
+	lock sync.Locker
+
+	connected  atomic.Bool
+	leaderSeq  atomic.Int64
+	lastFresh  atomic.Int64 // unix nanos of last observed parity; 0 = never
+	reconnects atomic.Int64
+	bootstraps atomic.Int64
+	frames     atomic.Int64
+	badFrames  atomic.Int64
+
+	errMu   sync.Mutex
+	lastErr string
+
+	// swapFns are additional graph-swap observers (see OnSwap), invoked —
+	// like FollowerOptions.OnGraphSwap — under the apply lock.
+	swapFns []func(*pg.Graph)
+}
+
+// OpenFollower opens (or recovers) the follower's local store in dir. The
+// returned follower serves its recovered graph immediately; Run connects it
+// to the leader.
+func OpenFollower(dir string, opts FollowerOptions) (*Follower, error) {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 2 * time.Second
+	}
+	if opts.ReadTimeout <= 0 {
+		opts.ReadTimeout = 10 * time.Second
+	}
+	if opts.Backoff == (backoff.Policy{}) {
+		opts.Backoff = backoff.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5}
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	st, err := persist.Open(dir, persist.Options{SyncEvery: opts.SyncEvery})
+	if err != nil {
+		return nil, err
+	}
+	return &Follower{store: st, opts: opts, lock: &sync.Mutex{}}, nil
+}
+
+// SetLock replaces the apply lock. Call before Run. Passing the write side
+// of the RWMutex that guards reads makes "concurrent reads while applying"
+// safe by construction.
+func (f *Follower) SetLock(l sync.Locker) { f.lock = l }
+
+// OnSwap registers an additional bootstrap observer, called under the
+// apply lock whenever a snapshot bootstrap replaces the graph object.
+// Serving layers that cache the *pg.Graph pointer re-point it here. Call
+// before Run.
+func (f *Follower) OnSwap(fn func(*pg.Graph)) { f.swapFns = append(f.swapFns, fn) }
+
+// Graph returns the follower's current graph. After a snapshot bootstrap
+// this is a different object — cache the pointer only via OnGraphSwap.
+func (f *Follower) Graph() *pg.Graph { return f.store.Graph() }
+
+// Store returns the follower's local durable store.
+func (f *Follower) Store() *persist.Store { return f.store }
+
+// Seq returns the follower's applied (not necessarily fsynced) sequence
+// number.
+func (f *Follower) Seq() int64 { return f.store.Seq() }
+
+// Close releases the local store. Call after Run has returned.
+func (f *Follower) Close() error { return f.store.Close() }
+
+// Status snapshots the follower's replication state.
+func (f *Follower) Status() FollowerStatus {
+	seq := f.store.Seq()
+	leaderSeq := f.leaderSeq.Load()
+	lag := leaderSeq - seq
+	if lag < 0 {
+		lag = 0
+	}
+	var staleness time.Duration
+	ever := false
+	if fresh := f.lastFresh.Load(); fresh > 0 {
+		ever = true
+		staleness = time.Since(time.Unix(0, fresh))
+	}
+	f.errMu.Lock()
+	lastErr := f.lastErr
+	f.errMu.Unlock()
+	return FollowerStatus{
+		Connected:     f.connected.Load(),
+		Seq:           seq,
+		LeaderSeq:     leaderSeq,
+		LagRecords:    lag,
+		EverSynced:    ever,
+		StalenessMS:   staleness.Milliseconds(),
+		Staleness:     staleness,
+		Reconnects:    f.reconnects.Load(),
+		Bootstraps:    f.bootstraps.Load(),
+		FramesApplied: f.frames.Load(),
+		BadFrames:     f.badFrames.Load(),
+		LastError:     lastErr,
+	}
+}
+
+// Run tails the leader until ctx is cancelled, reconnecting with capped
+// jittered backoff on every failure. It returns ctx.Err() — every other
+// error is a reason to reconnect, not to stop.
+func (f *Follower) Run(ctx context.Context) error {
+	attempt := 0
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		progressed, err := f.session(ctx)
+		f.connected.Store(false)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err != nil {
+			f.setErr(err)
+			f.opts.Logger.Debug("replication session ended", "err", err)
+		}
+		if progressed {
+			// The leader was reachable and spoke protocol; whatever killed
+			// the session was transient. Start the backoff ladder over.
+			attempt = 0
+		}
+		d := f.opts.Backoff.Delay(attempt)
+		attempt++
+		if f.opts.OnBackoff != nil {
+			f.opts.OnBackoff(attempt, d)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+		}
+		f.reconnects.Add(1)
+	}
+}
+
+// session runs one connect-negotiate-stream cycle. progressed reports
+// whether the leader completed a handshake (used to reset backoff).
+func (f *Follower) session(ctx context.Context) (progressed bool, err error) {
+	addr := f.opts.Leader
+	if f.opts.LeaderFunc != nil {
+		if addr, err = f.opts.LeaderFunc(); err != nil {
+			return false, fmt.Errorf("replication: resolving leader: %w", err)
+		}
+	}
+	if ferr := faultinject.FireErr(faultinject.SiteReplDial); ferr != nil {
+		return false, fmt.Errorf("replication: dial %s: %w", addr, ferr)
+	}
+	conn, err := net.DialTimeout("tcp", addr, f.opts.DialTimeout)
+	if err != nil {
+		return false, fmt.Errorf("replication: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	mySeq := f.store.Seq()
+	reqLine, err := json.Marshal(request{Seq: mySeq})
+	if err != nil {
+		return false, err
+	}
+	if _, err := conn.Write(append(reqLine, '\n')); err != nil {
+		return false, fmt.Errorf("replication: sending request: %w", err)
+	}
+
+	h, err := f.readHello(conn)
+	if err != nil {
+		return false, err
+	}
+	f.observeLeaderSeq(h.LeaderSeq)
+
+	if h.Snapshot || h.Reset {
+		if err := f.bootstrap(conn, h); err != nil {
+			return true, err
+		}
+	} else if h.From != mySeq {
+		return true, fmt.Errorf("replication: leader offered seq %d, asked for %d", h.From, mySeq)
+	}
+
+	// Stream loop: frames and heartbeats until something breaks.
+	for {
+		conn.SetReadDeadline(time.Now().Add(f.opts.ReadTimeout))
+		typ, payload, err := readMsg(conn)
+		if err != nil {
+			return true, fmt.Errorf("replication: stream read: %w", err)
+		}
+		switch typ {
+		case msgFrame:
+			if err := f.applyFrame(payload); err != nil {
+				return true, err
+			}
+		case msgHeartbeat:
+			var hb heartbeat
+			if err := decodeJSON(payload, &hb); err != nil {
+				return true, err
+			}
+			f.observeLeaderSeq(hb.Seq)
+		default:
+			return true, fmt.Errorf("replication: unexpected %q message mid-stream", typ)
+		}
+	}
+}
+
+func (f *Follower) readHello(conn net.Conn) (hello, error) {
+	conn.SetReadDeadline(time.Now().Add(f.opts.ReadTimeout))
+	typ, payload, err := readMsg(conn)
+	if err != nil {
+		return hello{}, fmt.Errorf("replication: reading hello: %w", err)
+	}
+	if typ != msgHello {
+		return hello{}, fmt.Errorf("replication: expected hello, got %q", typ)
+	}
+	var h hello
+	if err := decodeJSON(payload, &h); err != nil {
+		return hello{}, err
+	}
+	return h, nil
+}
+
+// bootstrap discards local state and adopts the leader's: either the
+// shipped snapshot, or — for a generation-0 leader — the empty graph. The
+// adopted graph is published atomically under the apply lock and made
+// durable (the follower's store rotates to a fresh snapshot) before any
+// frame is applied on top.
+func (f *Follower) bootstrap(conn net.Conn, h hello) error {
+	g := pg.New()
+	if h.Snapshot {
+		conn.SetReadDeadline(time.Now().Add(f.opts.ReadTimeout))
+		typ, payload, err := readMsg(conn)
+		if err != nil {
+			return fmt.Errorf("replication: reading snapshot: %w", err)
+		}
+		if typ != msgSnapshot {
+			return fmt.Errorf("replication: expected snapshot, got %q", typ)
+		}
+		if g, err = persist.DecodeSnapshot(payload); err != nil {
+			f.badFrames.Add(1)
+			return fmt.Errorf("replication: snapshot rejected: %w", err)
+		}
+	}
+	if got := persist.SeqOfGraph(g); got != h.From {
+		return fmt.Errorf("replication: bootstrap graph is at seq %d, hello promised %d", got, h.From)
+	}
+	f.lock.Lock()
+	err := f.store.ReplaceGraph(g)
+	if err == nil {
+		if f.opts.OnGraphSwap != nil {
+			f.opts.OnGraphSwap(g)
+		}
+		for _, fn := range f.swapFns {
+			fn(g)
+		}
+	}
+	f.lock.Unlock()
+	if err != nil {
+		return fmt.Errorf("replication: adopting bootstrap state: %w", err)
+	}
+	f.bootstraps.Add(1)
+	f.opts.Logger.Info("replication bootstrap", "seq", h.From, "gen", h.Gen, "reset", h.Reset)
+	return nil
+}
+
+// applyFrame validates one shipped WAL frame and applies it. The CRC check
+// runs against the wire bytes, so corruption in transit is caught here and
+// handled like a disconnect: the caller drops the connection and the next
+// session re-requests from the last locally-held sequence number.
+func (f *Follower) applyFrame(frame []byte) error {
+	faultinject.Fire(faultinject.SiteReplApply)
+	rec, err := persist.DecodeFrame(frame)
+	if err != nil {
+		f.badFrames.Add(1)
+		return fmt.Errorf("replication: frame rejected: %w", err)
+	}
+	f.lock.Lock()
+	// Applying the record mutates the graph, which fires the store's
+	// mutation hook: the frame lands in the follower's own WAL and advances
+	// its sequence number. Durability and position tracking come free.
+	err = persist.Apply(f.store.Graph(), rec)
+	f.lock.Unlock()
+	if err != nil {
+		return fmt.Errorf("replication: applying frame: %w", err)
+	}
+	f.frames.Add(1)
+	f.markFreshIfCaughtUp()
+	return nil
+}
+
+// observeLeaderSeq records the leader's position and refreshes the
+// staleness clock if we are at parity.
+func (f *Follower) observeLeaderSeq(seq int64) {
+	// Keep the max: heartbeats from a stale read race with hello.
+	for {
+		cur := f.leaderSeq.Load()
+		if seq <= cur {
+			break
+		}
+		if f.leaderSeq.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	f.connected.Store(true)
+	f.markFreshIfCaughtUp()
+}
+
+// markFreshIfCaughtUp stamps lastFresh when the follower's applied state
+// has reached the last position the leader reported. A follower that is
+// perpetually slightly behind a busy leader never stamps — its staleness
+// grows until a heartbeat or applied frame shows parity again.
+func (f *Follower) markFreshIfCaughtUp() {
+	if f.store.Seq() >= f.leaderSeq.Load() {
+		f.lastFresh.Store(time.Now().UnixNano())
+	}
+}
+
+func (f *Follower) setErr(err error) {
+	f.errMu.Lock()
+	f.lastErr = err.Error()
+	f.errMu.Unlock()
+}

@@ -1,0 +1,317 @@
+package replication
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vadalink/internal/faultinject"
+	"vadalink/internal/persist"
+)
+
+// LeaderOptions tunes the serving side of replication.
+type LeaderOptions struct {
+	// Heartbeat is how often an idle stream sends a 'P' message so
+	// followers can measure freshness. Default 500ms.
+	Heartbeat time.Duration
+	// Poll is how often a drained stream re-checks the WAL file for new
+	// bytes. Default 10ms.
+	Poll time.Duration
+	// RequestTimeout bounds how long the leader waits for a follower's
+	// request line before dropping the connection. Default 10s.
+	RequestTimeout time.Duration
+	// Logger receives connection lifecycle events. Default: discard.
+	Logger *slog.Logger
+}
+
+// LeaderStatus is a snapshot of the leader's replication counters.
+type LeaderStatus struct {
+	Connected        int64  `json:"connectedFollowers"`
+	Accepted         int64  `json:"accepted"`
+	FramesShipped    int64  `json:"framesShipped"`
+	SnapshotsShipped int64  `json:"snapshotsShipped"`
+	Seq              int64  `json:"seq"`
+	Addr             string `json:"addr,omitempty"`
+}
+
+// Leader serves a Store's WAL as a replication stream. One Leader serves
+// any number of concurrent followers; each connection gets its own reader
+// over the log file, so a slow follower never stalls a fast one — or the
+// writer.
+type Leader struct {
+	store *persist.Store
+	opts  LeaderOptions
+
+	connected atomic.Int64
+	accepted  atomic.Int64
+	frames    atomic.Int64
+	snapshots atomic.Int64
+	addr      atomic.Value // string
+}
+
+// NewLeader wraps a store with a replication serving tier. The store keeps
+// working exactly as before; the leader only ever reads its files.
+func NewLeader(store *persist.Store, opts LeaderOptions) *Leader {
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 500 * time.Millisecond
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 10 * time.Millisecond
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 10 * time.Second
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Leader{store: store, opts: opts}
+}
+
+// Addr reports the listener address once Serve is running ("" before).
+func (l *Leader) Addr() string {
+	if v, ok := l.addr.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Status snapshots the leader's counters.
+func (l *Leader) Status() LeaderStatus {
+	return LeaderStatus{
+		Connected:        l.connected.Load(),
+		Accepted:         l.accepted.Load(),
+		FramesShipped:    l.frames.Load(),
+		SnapshotsShipped: l.snapshots.Load(),
+		Seq:              l.store.Seq(),
+		Addr:             l.Addr(),
+	}
+}
+
+// Serve accepts follower connections on ln until ctx is cancelled. Each
+// follower is handled on its own goroutine; Serve returns only after every
+// stream has wound down.
+func (l *Leader) Serve(ctx context.Context, ln net.Listener) error {
+	l.addr.Store(ln.Addr().String())
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("replication: accept: %w", err)
+		}
+		if ferr := faultinject.FireErr(faultinject.SiteReplAccept); ferr != nil {
+			// Injected accept-time crash: the follower sees the connection
+			// vanish before the hello, exactly like a leader dying between
+			// accept and negotiate.
+			conn.Close()
+			continue
+		}
+		l.accepted.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.connected.Add(1)
+			defer l.connected.Add(-1)
+			// Cancellation closes the socket out from under the stream
+			// loop, which surfaces as a write/read error and unwinds it.
+			stopConn := context.AfterFunc(ctx, func() { conn.Close() })
+			defer stopConn()
+			defer conn.Close()
+			if err := l.handle(ctx, conn); err != nil && ctx.Err() == nil {
+				l.opts.Logger.Debug("replication stream ended", "remote", conn.RemoteAddr().String(), "err", err)
+			}
+		}()
+	}
+}
+
+// handle negotiates with one follower and streams until error, rotation or
+// cancellation.
+func (l *Leader) handle(ctx context.Context, conn net.Conn) error {
+	conn.SetReadDeadline(time.Now().Add(l.opts.RequestTimeout))
+	br := bufio.NewReaderSize(conn, 4096)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return fmt.Errorf("replication: reading request: %w", err)
+	}
+	var req request
+	if err := json.Unmarshal(line, &req); err != nil || req.Seq < 0 {
+		return fmt.Errorf("replication: bad request %q", line)
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	gen, base, seqNow := l.store.Position()
+	h := hello{Gen: gen, Base: base, From: req.Seq, LeaderSeq: seqNow}
+	switch {
+	case req.Seq > seqNow:
+		// The follower holds mutations this leader never durably had — the
+		// leader lost an unsynced tail in a crash and the follower applied
+		// it before the loss. The leader's durable state is authoritative;
+		// the follower must discard and re-bootstrap.
+		h.Reset = true
+		h.Snapshot = gen > 0
+		h.From = base
+	case req.Seq < base:
+		// Lagged past log truncation: the frames between the follower's
+		// position and base were rotated away. Bootstrap from the current
+		// generation's snapshot (generation 0 has none — the base state is
+		// the empty graph).
+		h.Snapshot = gen > 0
+		h.From = base
+	}
+
+	hb, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	if err := l.send(conn, msgHello, hb); err != nil {
+		return err
+	}
+	if h.Snapshot {
+		snap, err := os.ReadFile(l.store.SnapshotFile(gen))
+		if err != nil {
+			return fmt.Errorf("replication: reading snapshot for bootstrap: %w", err)
+		}
+		if err := l.send(conn, msgSnapshot, snap); err != nil {
+			return err
+		}
+		l.snapshots.Add(1)
+	}
+	return l.stream(ctx, conn, gen, h.From-base)
+}
+
+// stream ships WAL frames of generation gen starting at frame index
+// skip, then follows the file as it grows. It returns nil when the store
+// rotates to a new generation and every frame of the old one has been
+// shipped — the follower reconnects and renegotiates at the new base.
+func (l *Leader) stream(ctx context.Context, conn net.Conn, gen uint64, skip int64) error {
+	f, err := os.Open(l.store.WALFile(gen))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return fmt.Errorf("replication: opening wal for streaming: %w", err)
+		}
+		// A fresh generation may not have a WAL file yet (no mutation since
+		// rotation). Treat it as empty and poll for its creation below.
+		f = nil
+	}
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+
+	var (
+		buf       []byte // bytes read but not yet cut into frames
+		chunk     = make([]byte, 64<<10)
+		lastSend  = time.Now()
+		heartbeat = l.opts.Heartbeat
+	)
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		// Drain what the file has beyond what we've consumed.
+		grew := false
+		if f == nil {
+			if nf, err := os.Open(l.store.WALFile(gen)); err == nil {
+				f = nf
+			}
+		}
+		for f != nil {
+			n, err := f.Read(chunk)
+			if n > 0 {
+				buf = append(buf, chunk[:n]...)
+				grew = true
+			}
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				return fmt.Errorf("replication: reading wal: %w", err)
+			}
+			if n == 0 {
+				break
+			}
+		}
+		// Cut complete frames out of the buffer and ship them.
+		for {
+			n, ok := persist.NextFrame(buf)
+			if !ok {
+				break
+			}
+			frame := buf[:n:n]
+			buf = buf[n:]
+			if skip > 0 {
+				skip--
+				continue
+			}
+			if ferr := faultinject.FireErr(faultinject.SiteReplFrame); ferr != nil {
+				// Injected wire corruption: flip one payload byte in a copy
+				// (never in the file's bytes). The follower's CRC re-check
+				// must reject it.
+				frame = append([]byte(nil), frame...)
+				frame[len(frame)-1] ^= 0x01
+			}
+			if err := l.send(conn, msgFrame, frame); err != nil {
+				return err
+			}
+			l.frames.Add(1)
+			lastSend = time.Now()
+		}
+		if grew {
+			continue // more may already be in the file
+		}
+		// File is drained. If the store rotated, this generation is final
+		// and fully shipped — end the stream so the follower renegotiates.
+		if curGen, _, _ := l.store.Position(); curGen != gen && len(buf) == 0 {
+			return nil
+		}
+		if time.Since(lastSend) >= heartbeat {
+			hb, err := json.Marshal(heartbeatMsg(l.store.Seq()))
+			if err != nil {
+				return err
+			}
+			if err := l.send(conn, msgHeartbeat, hb); err != nil {
+				return err
+			}
+			lastSend = time.Now()
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(l.opts.Poll):
+		}
+	}
+}
+
+func heartbeatMsg(seq int64) heartbeat { return heartbeat{Seq: seq} }
+
+// send writes one protocol message. The injected fault here cuts the stream
+// mid-message: half the bytes go out, then the connection dies — the
+// follower must treat the torn message as a disconnect, not as data.
+func (l *Leader) send(conn net.Conn, typ byte, payload []byte) error {
+	msg := encodeMsg(typ, payload)
+	if ferr := faultinject.FireErr(faultinject.SiteReplSend); ferr != nil {
+		_, _ = conn.Write(msg[:len(msg)/2])
+		conn.Close()
+		return fmt.Errorf("replication: injected stream cut: %w", ferr)
+	}
+	if _, err := conn.Write(msg); err != nil {
+		return fmt.Errorf("replication: writing %q message: %w", typ, err)
+	}
+	return nil
+}

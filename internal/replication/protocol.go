@@ -1,0 +1,126 @@
+// Package replication ships the write-ahead log from a leader to read-only
+// followers over a plain TCP stream.
+//
+// The protocol is deliberately small. A follower connects, states the one
+// thing the leader needs to know — the sequence number of the last mutation
+// it holds durably — and from then on only reads:
+//
+//	follower → leader:  {"seq": N}\n                (single JSON request line)
+//	leader → follower:  [1-byte type][u32le length][payload]...
+//
+// Message types:
+//
+//	'H'  hello      JSON: generation, base, first shipped seq, whether a
+//	                snapshot precedes the frames, the leader's current seq,
+//	                and whether the follower must discard local state.
+//	'S'  snapshot   one snapshot file, byte-for-byte (VKGSNAP1 envelope,
+//	                verified by the follower with the same checks used on
+//	                disk).
+//	'F'  frame      one WAL frame, byte-for-byte ([len][crc][payload]); the
+//	                follower re-verifies the CRC, so corruption on the wire
+//	                is detected exactly like corruption on disk.
+//	'P'  heartbeat  JSON: the leader's current seq; lets an idle follower
+//	                measure its lag and freshness.
+//
+// The sequence number is a pure function of graph state
+// (persist.SeqOfGraph), so position negotiation is stateless: any anomaly —
+// torn stream, bad frame, rotation, leader restart — is handled by dropping
+// the connection and reconnecting with whatever sequence number the
+// follower's recovered graph implies. There is no ack channel and no
+// session state to corrupt.
+package replication
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Protocol message types.
+const (
+	msgHello     byte = 'H'
+	msgSnapshot  byte = 'S'
+	msgFrame     byte = 'F'
+	msgHeartbeat byte = 'P'
+)
+
+// msgHeaderLen = 1 type byte + u32le payload length.
+const msgHeaderLen = 5
+
+// maxMsgLen bounds one message; a longer length in a header is treated as
+// corruption, not an allocation request. Snapshots are the only large
+// payloads and a 256 MiB graph snapshot is far beyond anything this system
+// serves.
+const maxMsgLen = 256 << 20
+
+// hello is the leader's first message on every connection: where the stream
+// starts and what the follower must do to receive it.
+type hello struct {
+	// Gen is the leader's current WAL generation.
+	Gen uint64 `json:"gen"`
+	// Base is the sequence number at the start of that generation's WAL.
+	Base int64 `json:"base"`
+	// From is the sequence number of the first frame that will be shipped;
+	// after any snapshot is applied the follower must be at exactly From.
+	From int64 `json:"from"`
+	// Snapshot announces an 'S' message before the first frame.
+	Snapshot bool `json:"snapshot"`
+	// Reset tells the follower its local state is ahead of (or diverged
+	// from) the leader — discard it and adopt the bootstrap state. Set when
+	// a leader lost unsynced tail writes in a crash.
+	Reset bool `json:"reset"`
+	// LeaderSeq is the leader's sequence number at connection time.
+	LeaderSeq int64 `json:"leaderSeq"`
+}
+
+// heartbeat is the leader's periodic 'P' payload.
+type heartbeat struct {
+	Seq int64 `json:"seq"`
+}
+
+// request is the follower's single JSON request line.
+type request struct {
+	Seq int64 `json:"seq"`
+}
+
+// encodeMsg wraps a payload in the wire envelope.
+func encodeMsg(typ byte, payload []byte) []byte {
+	msg := make([]byte, msgHeaderLen, msgHeaderLen+len(payload))
+	msg[0] = typ
+	binary.LittleEndian.PutUint32(msg[1:5], uint32(len(payload)))
+	return append(msg, payload...)
+}
+
+// readMsg reads one complete message. Short reads, absurd lengths and
+// unknown types are errors — the caller's only recovery is to drop the
+// connection and renegotiate.
+func readMsg(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [msgHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	typ = hdr[0]
+	switch typ {
+	case msgHello, msgSnapshot, msgFrame, msgHeartbeat:
+	default:
+		return 0, nil, fmt.Errorf("replication: unknown message type %q", typ)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	if n > maxMsgLen {
+		return 0, nil, fmt.Errorf("replication: message length %d exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("replication: short message body: %w", err)
+	}
+	return typ, payload, nil
+}
+
+// decodeJSON strictly parses a JSON payload into v.
+func decodeJSON(payload []byte, v any) error {
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("replication: bad message payload: %w", err)
+	}
+	return nil
+}

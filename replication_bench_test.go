@@ -1,0 +1,81 @@
+// Benchmark for the replication catch-up path: how fast a cold follower
+// replays a leader's WAL over the wire. scripts/bench.sh runs this with the
+// other regression benchmarks; the frames/s metric lands in BENCH_<n>.json.
+package vadalink_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"vadalink"
+)
+
+// BenchmarkFollowerCatchup measures end-to-end catch-up throughput: a
+// follower with an empty store connects to a leader holding n WAL records
+// and tails until parity. The cost covers the stream protocol, per-frame
+// CRC re-verification, the mutation apply path, and the follower's own WAL
+// append — the whole pipeline a lagged replica must traverse.
+func BenchmarkFollowerCatchup(b *testing.B) {
+	for _, n := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := vadalink.OpenDurable(filepath.Join(dir, "leader"), vadalink.DurableOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			g := st.Graph()
+			for i := 0; i < n; i++ {
+				g.AddNode(vadalink.LabelCompany, vadalink.Properties{"n": i})
+			}
+			if err := st.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			ld := vadalink.NewReplicationLeader(st, vadalink.ReplicationLeaderOptions{})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_ = ld.Serve(ctx, ln)
+			}()
+			defer func() { cancel(); <-done }()
+			target := st.Seq()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fl, err := vadalink.OpenFollower(
+					filepath.Join(dir, fmt.Sprintf("f%d", i)),
+					vadalink.FollowerOptions{Leader: ln.Addr().String()},
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fctx, fcancel := context.WithCancel(ctx)
+				fdone := make(chan struct{})
+				go func() {
+					defer close(fdone)
+					fl.Run(fctx)
+				}()
+				for fl.Seq() < target {
+					time.Sleep(100 * time.Microsecond)
+				}
+				fcancel()
+				<-fdone
+				if err := fl.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(target)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+		})
+	}
+}

@@ -52,11 +52,30 @@ awk -v c="$pcov" -v f="$PERSIST_COVER_FLOOR" 'BEGIN { exit (c + 0 >= f + 0) ? 0 
     exit 1
 }
 
+echo "== coverage floor (internal/replication) =="
+# The replication protocol's failure paths (reconnect, re-request, snapshot
+# re-bootstrap) are exactly the code that only runs when things go wrong;
+# hold the floor so fault coverage can't erode (85.8% when established).
+REPL_COVER_FLOOR="${REPL_COVER_FLOOR:-75.0}"
+go test -coverprofile=/tmp/replication.cover ./internal/replication >/dev/null
+rcov="$(go tool cover -func=/tmp/replication.cover | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')"
+echo "internal/replication coverage: ${rcov}% (floor ${REPL_COVER_FLOOR}%)"
+awk -v c="$rcov" -v f="$REPL_COVER_FLOOR" 'BEGIN { exit (c + 0 >= f + 0) ? 0 : 1 }' || {
+    echo "coverage ${rcov}% fell below the ${REPL_COVER_FLOOR}% floor" >&2
+    exit 1
+}
+
 echo "== crash-recovery harness (kill -9 loop) =="
 # 20 consecutive SIGKILLs mid-write; every acknowledged fact must survive and
 # every restart must load a consistent store. Runs under -race on purpose:
 # the WAL's group-commit loop is concurrent with appends.
 go test -race -run '^TestCrashRecoveryLoop$' -v ./internal/persist | grep -E 'survived|PASS|FAIL'
+
+echo "== replication crash harness (leader + 2 followers, kill -9 loop) =="
+# 20 cycles of interleaved SIGKILLs across a leader and two followers; every
+# fact the leader acknowledged must survive on the leader AND converge on
+# both followers. Under -race: frame apply races against API-style reads.
+go test -race -run '^TestReplicationCrashLoop$' -v ./internal/replication | grep -E 'kills|converged|PASS|FAIL'
 
 echo "== benchmark smoke (1x) =="
 # Run every regression benchmark once so the harness can't bit-rot; real

@@ -34,6 +34,7 @@ import (
 	"io"
 	"net/http"
 
+	"vadalink/internal/backoff"
 	"vadalink/internal/closelink"
 	"vadalink/internal/cluster"
 	"vadalink/internal/control"
@@ -47,6 +48,7 @@ import (
 	"vadalink/internal/persist"
 	"vadalink/internal/pg"
 	"vadalink/internal/reasonapi"
+	"vadalink/internal/replication"
 	"vadalink/internal/store"
 	"vadalink/internal/temporal"
 	"vadalink/internal/vadalog"
@@ -339,6 +341,51 @@ type DurableStats = persist.Stats
 // store's Graph() are change-captured from that point on.
 func OpenDurable(dir string, opts DurableOptions) (*DurableStore, error) {
 	return persist.Open(dir, opts)
+}
+
+// --- WAL-shipping replication (leader/follower serving tier; DESIGN.md §10) ---
+
+// ReplicationLeader serves a DurableStore's write-ahead log as a
+// replication stream: followers bootstrap from the current snapshot and
+// then tail WAL frames, each re-verified by checksum on arrival.
+type ReplicationLeader = replication.Leader
+
+// ReplicationLeaderOptions tunes the leader's stream (heartbeat cadence,
+// WAL poll interval).
+type ReplicationLeaderOptions = replication.LeaderOptions
+
+// ReplicationLeaderStatus is the leader-side counter snapshot (connected
+// followers, frames and snapshots shipped).
+type ReplicationLeaderStatus = replication.LeaderStatus
+
+// Follower tails a leader's WAL stream into its own durable store; its
+// replication position survives kill -9 because it is recomputed from the
+// recovered graph, not read from a position file.
+type Follower = replication.Follower
+
+// FollowerOptions tunes a Follower: leader address, dial/read timeouts,
+// reconnect backoff, local group-commit interval.
+type FollowerOptions = replication.FollowerOptions
+
+// FollowerStatus is a follower's live position: applied sequence, leader
+// sequence, lag, staleness, reconnect and bootstrap counts.
+type FollowerStatus = replication.FollowerStatus
+
+// BackoffPolicy is the capped, jittered exponential backoff shared by the
+// follower's reconnect loop and the ETL loaders' retry logic.
+type BackoffPolicy = backoff.Policy
+
+// NewReplicationLeader wraps a durable store with a replication leader.
+// Run it with Leader.Serve on a listener of your choice.
+func NewReplicationLeader(st *DurableStore, opts ReplicationLeaderOptions) *ReplicationLeader {
+	return replication.NewLeader(st, opts)
+}
+
+// OpenFollower opens (or recovers) a follower store in dir and prepares it
+// to tail the leader named in opts. Call Run to start replicating; wire the
+// follower into APIConfig.Follower to serve its graph read-only.
+func OpenFollower(dir string, opts FollowerOptions) (*Follower, error) {
+	return replication.OpenFollower(dir, opts)
 }
 
 // --- temporal dimension (the 2005–2018 register; Example 3.2 intervals) ---
