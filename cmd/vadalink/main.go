@@ -9,6 +9,7 @@
 //	vadalink closelink -in graph.json [-t 0.2]
 //	vadalink family    -in graph.json [-k 1]
 //	vadalink reason    -in graph.json -task control|closelink|partner
+//	vadalink whatif    -in graph.json -ops ops.json [-t 0.2]
 //	vadalink serve     -in graph.json [-addr :8080] [-timeout 30s]
 //	                   [-max-facts N] [-max-rounds N] [-metrics=true]
 //	                   [-pprof] [-log-format text|json|off]
@@ -22,6 +23,12 @@
 // counters and the last chase report are served on GET /v1/metrics (disable
 // with -metrics=false); -pprof mounts net/http/pprof under /debug/pprof/;
 // -log-format selects slog text or JSON access logs on stderr.
+//
+// whatif evaluates a counterfactual scenario — a JSON array of hypothetical
+// ops ({"op":"addShare","from":1,"to":2,"w":0.3}, addNode, setShare,
+// removeEdge, removeNode) — on a copy-on-write overlay and prints how the
+// control and close-link relations would change; the input graph is never
+// modified. The same scenarios are served live on POST /v1/whatif.
 //
 // -data-dir turns on crash-safe persistence: the graph lives in a WAL +
 // snapshot store under DIR, recovered on startup (torn writes truncated,
@@ -41,6 +48,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -55,6 +63,7 @@ import (
 
 	"vadalink"
 	"vadalink/internal/pg"
+	"vadalink/internal/whatif"
 )
 
 func main() {
@@ -75,6 +84,8 @@ func main() {
 		cmdFamily(args)
 	case "reason":
 		cmdReason(args)
+	case "whatif":
+		cmdWhatif(args)
 	case "explain":
 		cmdExplain(args)
 	case "dot":
@@ -89,7 +100,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: vadalink <stats|control|closelink|family|reason|explain|dot|ubo|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: vadalink <stats|control|closelink|family|reason|whatif|explain|dot|ubo|serve> [flags]
 run "vadalink <cmd> -h" for per-command flags`)
 	os.Exit(2)
 }
@@ -248,6 +259,60 @@ func cmdFamily(args []string) {
 			log.Fatal(err)
 		}
 	}
+}
+
+// cmdWhatif answers "what would change if…" from the command line: apply a
+// scenario file to an overlay, chase the composite, print the diff.
+func cmdWhatif(args []string) {
+	fs := flag.NewFlagSet("whatif", flag.ExitOnError)
+	inputs := addInputFlags(fs)
+	t := fs.Float64("t", 0.2, "close-link threshold")
+	opsPath := fs.String("ops", "", `scenario ops JSON array ("-" reads stdin)`)
+	_ = fs.Parse(args)
+	g := inputs.load()
+	if *opsPath == "" {
+		log.Fatal(`whatif needs -ops ops.json ("-" reads stdin)`)
+	}
+	var r io.Reader = os.Stdin
+	if *opsPath != "-" {
+		f, err := os.Open(*opsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	var ops []whatif.Op
+	if err := json.NewDecoder(r).Decode(&ops); err != nil {
+		log.Fatalf("reading ops: %v", err)
+	}
+	ctx := context.Background()
+	bl, err := whatif.ComputeBaseline(ctx, g, *t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := whatif.Evaluate(ctx, g, bl, ops, whatif.Options{Threshold: *t})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range res.Created {
+		fmt.Printf("created node        #%d\n", id)
+	}
+	for _, p := range res.ControlGained {
+		fmt.Printf("control gained      %s -> %s\n", nodeName(g, p[0]), nodeName(g, p[1]))
+	}
+	for _, p := range res.ControlLost {
+		fmt.Printf("control lost        %s -> %s\n", nodeName(g, p[0]), nodeName(g, p[1]))
+	}
+	for _, p := range res.CloseLinkGained {
+		fmt.Printf("close link gained   %s - %s\n", nodeName(g, p[0]), nodeName(g, p[1]))
+	}
+	for _, p := range res.CloseLinkLost {
+		fmt.Printf("close link lost     %s - %s\n", nodeName(g, p[0]), nodeName(g, p[1]))
+	}
+	fmt.Printf("%d op(s): %+d nodes %+d edges, %d affected source(s), %d control pair(s), %d close link(s)\n",
+		len(ops), res.Delta.AddedNodes-res.Delta.RemovedNodes, res.Delta.AddedEdges-res.Delta.RemovedEdges,
+		res.AffectedSources, len(res.Control), len(res.CloseLink))
 }
 
 func cmdReason(args []string) {

@@ -52,20 +52,20 @@ func (o Options) withDefaults() Options {
 const checkInterval = 1024
 
 // Accumulated computes Φ(x, y) per Definition 2.5.
-func Accumulated(g *pg.Graph, x, y pg.NodeID, opts Options) float64 {
+func Accumulated(g pg.View, x, y pg.NodeID, opts Options) float64 {
 	return AccumulatedFrom(g, x, opts)[y]
 }
 
 // AccumulatedCtx is Accumulated under a context; it returns the context's
 // error when the enumeration is cut short (the value is then a lower bound).
-func AccumulatedCtx(ctx context.Context, g *pg.Graph, x, y pg.NodeID, opts Options) (float64, error) {
+func AccumulatedCtx(ctx context.Context, g pg.View, x, y pg.NodeID, opts Options) (float64, error) {
 	acc, err := AccumulatedFromCtx(ctx, g, x, opts)
 	return acc[y], err
 }
 
 // AccumulatedFrom computes Φ(x, ·) for every node reachable from x over
 // shareholding edges, in a single simple-path enumeration.
-func AccumulatedFrom(g *pg.Graph, x pg.NodeID, opts Options) map[pg.NodeID]float64 {
+func AccumulatedFrom(g pg.View, x pg.NodeID, opts Options) map[pg.NodeID]float64 {
 	acc, _ := AccumulatedFromCtx(context.Background(), g, x, opts)
 	return acc
 }
@@ -75,7 +75,7 @@ func AccumulatedFrom(g *pg.Graph, x pg.NodeID, opts Options) map[pg.NodeID]float
 // interruptible: the DFS polls the context every checkInterval edge
 // expansions and unwinds with the context's error, returning the (partial,
 // hence lower-bound) accumulation gathered so far.
-func AccumulatedFromCtx(ctx context.Context, g *pg.Graph, x pg.NodeID, opts Options) (map[pg.NodeID]float64, error) {
+func AccumulatedFromCtx(ctx context.Context, g pg.View, x pg.NodeID, opts Options) (map[pg.NodeID]float64, error) {
 	opts = opts.withDefaults()
 	acc := make(map[pg.NodeID]float64)
 	onPath := make(map[pg.NodeID]bool)
@@ -144,7 +144,7 @@ type Link struct {
 // CloseLinks computes every close-link pair among companies for threshold t
 // (conditions (i)–(iii) of Definition 2.6). Persons are considered as
 // potential common third parties z but never as members of a reported pair.
-func CloseLinks(g *pg.Graph, t float64, opts Options) []Link {
+func CloseLinks(g pg.View, t float64, opts Options) []Link {
 	out, _ := CloseLinksCtx(context.Background(), g, t, opts)
 	return out
 }
@@ -152,7 +152,7 @@ func CloseLinks(g *pg.Graph, t float64, opts Options) []Link {
 // CloseLinksCtx is CloseLinks under a context: it stops between third
 // parties (and inside each Φ enumeration) when the context is cancelled,
 // returning the links found so far plus the context's error.
-func CloseLinksCtx(ctx context.Context, g *pg.Graph, t float64, opts Options) ([]Link, error) {
+func CloseLinksCtx(ctx context.Context, g pg.View, t float64, opts Options) ([]Link, error) {
 	if t <= 0 {
 		t = DefaultThreshold
 	}
@@ -221,7 +221,7 @@ func CloseLinksCtx(ctx context.Context, g *pg.Graph, t float64, opts Options) ([
 // ownership reaches t in both x and y — the third parties that justify a
 // condition-(iii) close link, with their Φ values. This is the evidence a
 // compliance analyst attaches to an eligibility rejection.
-func CommonOwners(g *pg.Graph, x, y pg.NodeID, t float64, opts Options) []CommonOwner {
+func CommonOwners(g pg.View, x, y pg.NodeID, t float64, opts Options) []CommonOwner {
 	if t <= 0 {
 		t = DefaultThreshold
 	}
@@ -252,7 +252,7 @@ type CommonOwner struct {
 // companies are closely linked when two *different* members i ≠ j of the same
 // family group have Φ(i, x) ≥ t and Φ(j, y) ≥ t. families maps a family
 // identifier to its member nodes.
-func FamilyCloseLinks(g *pg.Graph, families map[string][]pg.NodeID, t float64, opts Options) []Link {
+func FamilyCloseLinks(g pg.View, families map[string][]pg.NodeID, t float64, opts Options) []Link {
 	if t <= 0 {
 		t = DefaultThreshold
 	}
@@ -315,7 +315,7 @@ func FamilyCloseLinks(g *pg.Graph, families map[string][]pg.NodeID, t float64, o
 // Annotate adds CloseLink edges (both directions, since close links are
 // symmetric per Definition 2.6) for every finding. It returns the number of
 // edges added.
-func Annotate(g *pg.Graph, t float64, opts Options) int {
+func Annotate(g pg.Mutable, t float64, opts Options) int {
 	added := 0
 	for _, l := range CloseLinks(g, t, opts) {
 		for _, d := range [][2]pg.NodeID{{l.Pair.A, l.Pair.B}, {l.Pair.B, l.Pair.A}} {

@@ -215,7 +215,7 @@ type MultiKeyBlocker interface {
 // Partition groups the given node IDs by blocker key, dropping nodes with an
 // empty key. With a MultiKeyBlocker the blocks may overlap (multi-pass
 // blocking). Block order and within-block order are deterministic.
-func Partition(g *pg.Graph, ids []pg.NodeID, b Blocker) [][]pg.NodeID {
+func Partition(g pg.View, ids []pg.NodeID, b Blocker) [][]pg.NodeID {
 	multi, isMulti := b.(MultiKeyBlocker)
 	byKey := map[string][]pg.NodeID{}
 	for _, id := range ids {

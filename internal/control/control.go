@@ -59,13 +59,13 @@ const checkInterval = 256
 
 // Controls computes the set of companies controlled by x, per Definition
 // 2.3. The result excludes x itself and is sorted.
-func Controls(g *pg.Graph, x pg.NodeID) []pg.NodeID {
+func Controls(g pg.View, x pg.NodeID) []pg.NodeID {
 	return GroupControls(g, []pg.NodeID{x})
 }
 
 // ControlsCtx is Controls under a context: the fixpoint aborts with the
 // context's error when it is cancelled or its deadline expires.
-func ControlsCtx(ctx context.Context, g *pg.Graph, x pg.NodeID) ([]pg.NodeID, error) {
+func ControlsCtx(ctx context.Context, g pg.View, x pg.NodeID) ([]pg.NodeID, error) {
 	return GroupControlsCtx(ctx, g, []pg.NodeID{x})
 }
 
@@ -74,7 +74,7 @@ func ControlsCtx(ctx context.Context, g *pg.Graph, x pg.NodeID) ([]pg.NodeID, er
 // A company y is group-controlled if the members plus the already
 // group-controlled companies jointly own more than 50% of y. Members
 // themselves are never reported as controlled.
-func GroupControls(g *pg.Graph, members []pg.NodeID) []pg.NodeID {
+func GroupControls(g pg.View, members []pg.NodeID) []pg.NodeID {
 	out, _ := GroupControlsCtx(context.Background(), g, members)
 	return out
 }
@@ -82,7 +82,7 @@ func GroupControls(g *pg.Graph, members []pg.NodeID) []pg.NodeID {
 // GroupControlsCtx is GroupControls under a context. The fixpoint polls the
 // context between holder expansions and returns its error on cancellation;
 // the partial result computed so far is returned alongside.
-func GroupControlsCtx(ctx context.Context, g *pg.Graph, members []pg.NodeID) ([]pg.NodeID, error) {
+func GroupControlsCtx(ctx context.Context, g pg.View, members []pg.NodeID) ([]pg.NodeID, error) {
 	holders := make(map[pg.NodeID]bool, len(members))
 	for _, m := range members {
 		holders[m] = true
@@ -165,7 +165,7 @@ type Pair struct {
 // fixpoint from every node that owns at least one share. The result is
 // sorted by (From, To). This is the quadratic-in-the-worst-case baseline the
 // clustered augmentation of the core package avoids.
-func AllPairs(g *pg.Graph) []Pair {
+func AllPairs(g pg.View) []Pair {
 	out, _ := AllPairsCtx(context.Background(), g)
 	return out
 }
@@ -173,7 +173,7 @@ func AllPairs(g *pg.Graph) []Pair {
 // AllPairsCtx is AllPairs under a context: it stops between source nodes
 // when the context is cancelled, returning the pairs found so far plus the
 // context's error.
-func AllPairsCtx(ctx context.Context, g *pg.Graph) ([]Pair, error) {
+func AllPairsCtx(ctx context.Context, g pg.View) ([]Pair, error) {
 	var out []Pair
 	for _, x := range g.Nodes() {
 		if err := ctx.Err(); err != nil {
@@ -203,7 +203,7 @@ func AllPairsCtx(ctx context.Context, g *pg.Graph) ([]Pair, error) {
 // or through arbitrary ownership chains — the ultimate-beneficial-owner
 // question of the anti-money-laundering use case the paper's introduction
 // names. The result is sorted.
-func UltimateControllers(g *pg.Graph, y pg.NodeID) []pg.NodeID {
+func UltimateControllers(g pg.View, y pg.NodeID) []pg.NodeID {
 	out, _ := UltimateControllersCtx(context.Background(), g, y)
 	return out
 }
@@ -211,7 +211,7 @@ func UltimateControllers(g *pg.Graph, y pg.NodeID) []pg.NodeID {
 // UltimateControllersCtx is UltimateControllers under a context: it stops
 // between candidate persons when the context is cancelled, returning the
 // controllers found so far plus the context's error.
-func UltimateControllersCtx(ctx context.Context, g *pg.Graph, y pg.NodeID) ([]pg.NodeID, error) {
+func UltimateControllersCtx(ctx context.Context, g pg.View, y pg.NodeID) ([]pg.NodeID, error) {
 	var out []pg.NodeID
 	for _, p := range g.NodesWithLabel(pg.LabelPerson) {
 		if err := ctx.Err(); err != nil {
@@ -237,7 +237,7 @@ func UltimateControllersCtx(ctx context.Context, g *pg.Graph, y pg.NodeID) ([]pg
 
 // Orphans returns the companies with no ultimate controller — widely-held
 // or foreign-controlled entities, interesting as supervision blind spots.
-func Orphans(g *pg.Graph) []pg.NodeID {
+func Orphans(g pg.View) []pg.NodeID {
 	controlled := map[pg.NodeID]bool{}
 	for _, p := range g.NodesWithLabel(pg.LabelPerson) {
 		if len(g.OutLabel(p, pg.LabelShareholding)) == 0 {
@@ -259,7 +259,7 @@ func Orphans(g *pg.Graph) []pg.NodeID {
 
 // Annotate adds a Control edge to the graph for every control relationship,
 // skipping existing ones. It returns the number of edges added.
-func Annotate(g *pg.Graph) int {
+func Annotate(g pg.Mutable) int {
 	added := 0
 	for _, p := range AllPairs(g) {
 		if !g.HasEdge(pg.LabelControl, p.From, p.To) {

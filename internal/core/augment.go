@@ -45,7 +45,7 @@ type Candidate interface {
 	Class() pg.Label
 	// Propose examines a block of co-clustered nodes in the current graph
 	// and returns the typed edges that must exist among them.
-	Propose(g *pg.Graph, block []pg.NodeID) []ProposedEdge
+	Propose(g pg.View, block []pg.NodeID) []ProposedEdge
 }
 
 // Config configures the augmentation loop.
@@ -117,7 +117,7 @@ func New(cfg Config) (*Augmenter, error) {
 }
 
 // Run mutates g by inserting predicted edges and returns the run report.
-func (a *Augmenter) Run(g *pg.Graph) (*Result, error) {
+func (a *Augmenter) Run(g pg.Mutable) (*Result, error) {
 	return a.RunContext(context.Background(), g)
 }
 
@@ -126,7 +126,7 @@ func (a *Augmenter) Run(g *pg.Graph) (*Result, error) {
 // expires, returning the context's error. Edges inserted by completed
 // blocks stay in the graph (augmentation is monotone), so a later retry
 // resumes where the cancelled run left off.
-func (a *Augmenter) RunContext(ctx context.Context, g *pg.Graph) (*Result, error) {
+func (a *Augmenter) RunContext(ctx context.Context, g pg.Mutable) (*Result, error) {
 	res := &Result{Added: map[pg.Label]int{}}
 	nodes := a.cfg.Nodes
 	if nodes == nil {
@@ -189,7 +189,7 @@ func (a *Augmenter) RunContext(ctx context.Context, g *pg.Graph) (*Result, error
 // stays deterministic. Cancellation is checked between blocks; already
 // matched blocks' proposals are discarded with the error (the caller
 // reports a cancelled round without applying it).
-func (a *Augmenter) matchBlocks(ctx context.Context, g *pg.Graph, blocks [][]pg.NodeID) ([]ProposedEdge, int64, error) {
+func (a *Augmenter) matchBlocks(ctx context.Context, g pg.View, blocks [][]pg.NodeID) ([]ProposedEdge, int64, error) {
 	matchOne := func(block []pg.NodeID) ([]ProposedEdge, int64) {
 		if len(block) < 2 {
 			return nil, 0
@@ -262,7 +262,7 @@ func (a *Augmenter) matchBlocks(ctx context.Context, g *pg.Graph, blocks [][]pg.
 }
 
 // clusterNodes computes the two-level block structure of the current graph.
-func (a *Augmenter) clusterNodes(g *pg.Graph, nodes []pg.NodeID, res *Result) ([][]pg.NodeID, error) {
+func (a *Augmenter) clusterNodes(g pg.View, nodes []pg.NodeID, res *Result) ([][]pg.NodeID, error) {
 	if a.cfg.NoCluster {
 		return [][]pg.NodeID{nodes}, nil
 	}

@@ -30,7 +30,7 @@ func (f *FamilyCandidate) Class() pg.Label {
 }
 
 // Propose implements Candidate.
-func (f *FamilyCandidate) Propose(g *pg.Graph, block []pg.NodeID) []ProposedEdge {
+func (f *FamilyCandidate) Propose(g pg.View, block []pg.NodeID) []ProposedEdge {
 	clf := f.Classifier
 	if clf == nil {
 		clf = family.NewMulti()
@@ -78,7 +78,7 @@ type ControlCandidate struct{}
 func (ControlCandidate) Class() pg.Label { return pg.LabelControl }
 
 // Propose implements Candidate.
-func (ControlCandidate) Propose(g *pg.Graph, block []pg.NodeID) []ProposedEdge {
+func (ControlCandidate) Propose(g pg.View, block []pg.NodeID) []ProposedEdge {
 	inBlock := make(map[pg.NodeID]bool, len(block))
 	for _, id := range block {
 		inBlock[id] = true
@@ -110,7 +110,7 @@ type CloseLinkCandidate struct {
 func (CloseLinkCandidate) Class() pg.Label { return pg.LabelCloseLink }
 
 // Propose implements Candidate.
-func (c CloseLinkCandidate) Propose(g *pg.Graph, block []pg.NodeID) []ProposedEdge {
+func (c CloseLinkCandidate) Propose(g pg.View, block []pg.NodeID) []ProposedEdge {
 	t := c.Threshold
 	if t == 0 {
 		t = closelink.DefaultThreshold

@@ -161,7 +161,7 @@ type adjacency struct {
 	weight [][]float64 // weight per neighbour, parallel to neigh
 }
 
-func buildAdjacency(g *pg.Graph) *adjacency {
+func buildAdjacency(g pg.View) *adjacency {
 	ids := g.Nodes()
 	index := make(map[pg.NodeID]int, len(ids))
 	for i, id := range ids {
@@ -371,7 +371,7 @@ func (w *walker) walk(start int32) []int32 {
 }
 
 // Learn runs node2vec over the graph and returns the embedding.
-func Learn(g *pg.Graph, cfg Config) (*Embedding, error) {
+func Learn(g pg.View, cfg Config) (*Embedding, error) {
 	cfg = cfg.withDefaults()
 	adj := buildAdjacency(g)
 	n := len(adj.ids)

@@ -29,6 +29,12 @@ const (
 	// SiteAugmentRound fires at the start of every KG-augmentation round
 	// (internal/core). Hooks here simulate slow augmentation.
 	SiteAugmentRound = "core.round"
+	// SiteStoreSwap fires inside the MVCC store's commit, after the
+	// transaction journal has been replayed onto the writer master but
+	// before the new version is published (internal/store). Hooks here
+	// stretch the swap window so snapshot-isolation tests can prove readers
+	// keep seeing the prior version until the atomic publish.
+	SiteStoreSwap = "store.swap"
 
 	// SiteIORead fires on every Read of a retrying input stream
 	// (internal/etl). Error hooks here simulate transient reader hiccups —

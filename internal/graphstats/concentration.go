@@ -30,7 +30,7 @@ type Concentration struct {
 
 // ComputeConcentration derives the ownership-concentration profile from the
 // direct shareholding structure.
-func ComputeConcentration(g *pg.Graph) Concentration {
+func ComputeConcentration(g pg.View) Concentration {
 	var c Concentration
 	var hhis []float64
 	var topSum float64

@@ -40,7 +40,7 @@ type Stats struct {
 }
 
 // Compute derives the full profile of a graph.
-func Compute(g *pg.Graph) Stats {
+func Compute(g pg.View) Stats {
 	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
 	ids := g.Nodes()
 	index := make(map[pg.NodeID]int, len(ids))
@@ -264,7 +264,7 @@ func powerLawAlpha(undirected []map[int32]bool) float64 {
 
 // DegreeHistogram returns the undirected degree → node-count histogram,
 // sorted by degree; used to eyeball the power-law shape.
-func DegreeHistogram(g *pg.Graph) [][2]int {
+func DegreeHistogram(g pg.View) [][2]int {
 	deg := map[pg.NodeID]map[pg.NodeID]bool{}
 	for _, eid := range g.Edges() {
 		e := g.Edge(eid)

@@ -338,59 +338,14 @@ func (g *Graph) HasEdge(label Label, from, to NodeID) bool {
 // returned mapping translates original → subgraph node IDs. The ego network
 // is what a supervision UI shows when an analyst opens a company.
 func (g *Graph) Neighborhood(center NodeID, hops int) (*Graph, map[NodeID]NodeID) {
-	if g.Node(center) == nil {
-		return New(), map[NodeID]NodeID{}
-	}
-	inSet := map[NodeID]bool{center: true}
-	frontier := []NodeID{center}
-	for h := 0; h < hops; h++ {
-		var next []NodeID
-		for _, n := range frontier {
-			for _, eid := range g.out[n] {
-				if e := g.edges[eid]; e != nil && !inSet[e.To] {
-					inSet[e.To] = true
-					next = append(next, e.To)
-				}
-			}
-			for _, eid := range g.in[n] {
-				if e := g.edges[eid]; e != nil && !inSet[e.From] {
-					inSet[e.From] = true
-					next = append(next, e.From)
-				}
-			}
-		}
-		frontier = next
-	}
-	sub := New()
-	mapping := make(map[NodeID]NodeID, len(inSet))
-	for _, id := range g.Nodes() {
-		if !inSet[id] {
-			continue
-		}
-		n := g.Node(id)
-		props := make(Properties, len(n.Props))
-		for k, v := range n.Props {
-			props[k] = v
-		}
-		mapping[id] = sub.AddNode(n.Label, props)
-	}
-	for _, eid := range g.Edges() {
-		e := g.edges[eid]
-		if !inSet[e.From] || !inSet[e.To] {
-			continue
-		}
-		props := make(Properties, len(e.Props))
-		for k, v := range e.Props {
-			props[k] = v
-		}
-		sub.MustAddEdge(e.Label, mapping[e.From], mapping[e.To], props)
-	}
-	return sub, mapping
+	return NeighborhoodOf(g, center, hops)
 }
 
 // Clone returns a deep copy of the graph (nodes, edges and property maps are
 // copied; property values are shared, which is safe because values are
-// immutable scalars).
+// immutable scalars). Index and adjacency slices are copied verbatim, so the
+// clone preserves the original's insertion orders — NodesWithLabel, Out and
+// friends read identically on graph and clone, which MVCC snapshots rely on.
 func (g *Graph) Clone() *Graph {
 	c := New()
 	c.nextNode = g.nextNode
@@ -401,7 +356,6 @@ func (g *Graph) Clone() *Graph {
 			props[k] = v
 		}
 		c.nodes[id] = &Node{ID: id, Label: n.Label, Props: props}
-		c.byNodeLabel[n.Label] = append(c.byNodeLabel[n.Label], id)
 	}
 	for id, e := range g.edges {
 		props := make(Properties, len(e.Props))
@@ -409,9 +363,18 @@ func (g *Graph) Clone() *Graph {
 			props[k] = v
 		}
 		c.edges[id] = &Edge{ID: id, Label: e.Label, From: e.From, To: e.To, Props: props}
-		c.out[e.From] = append(c.out[e.From], id)
-		c.in[e.To] = append(c.in[e.To], id)
-		c.byEdgeLabel[e.Label] = append(c.byEdgeLabel[e.Label], id)
+	}
+	for label, ids := range g.byNodeLabel {
+		c.byNodeLabel[label] = append([]NodeID(nil), ids...)
+	}
+	for label, ids := range g.byEdgeLabel {
+		c.byEdgeLabel[label] = append([]EdgeID(nil), ids...)
+	}
+	for id, ids := range g.out {
+		c.out[id] = append([]EdgeID(nil), ids...)
+	}
+	for id, ids := range g.in {
+		c.in[id] = append([]EdgeID(nil), ids...)
 	}
 	return c
 }
@@ -475,26 +438,4 @@ func Restore(nodes []Node, edges []Edge, nextNode NodeID, nextEdge EdgeID) (*Gra
 // edges carry a weight in (0, 1], shareholding sources are companies or
 // persons, and shareholding targets are companies. It returns the first
 // violation found, or nil.
-func (g *Graph) Validate() error {
-	for _, eid := range g.Edges() {
-		e := g.edges[eid]
-		if e.Label != LabelShareholding {
-			continue
-		}
-		w, ok := e.Weight()
-		if !ok {
-			return fmt.Errorf("pg: edge %d: shareholding edge missing weight", eid)
-		}
-		if w <= 0 || w > 1 {
-			return fmt.Errorf("pg: edge %d: share amount %v outside (0,1]", eid, w)
-		}
-		from, to := g.nodes[e.From], g.nodes[e.To]
-		if to.Label != LabelCompany {
-			return fmt.Errorf("pg: edge %d: shareholding target %d is %s, want Company", eid, e.To, to.Label)
-		}
-		if from.Label != LabelCompany && from.Label != LabelPerson {
-			return fmt.Errorf("pg: edge %d: shareholding source %d is %s, want Company or Person", eid, e.From, from.Label)
-		}
-	}
-	return nil
-}
+func (g *Graph) Validate() error { return ValidateView(g) }

@@ -29,19 +29,7 @@ type jsonEdge struct {
 }
 
 // WriteJSON serializes the graph as a single JSON document.
-func (g *Graph) WriteJSON(w io.Writer) error {
-	doc := jsonGraph{}
-	for _, id := range g.Nodes() {
-		n := g.nodes[id]
-		doc.Nodes = append(doc.Nodes, jsonNode{ID: n.ID, Label: n.Label, Props: n.Props})
-	}
-	for _, id := range g.Edges() {
-		e := g.edges[id]
-		doc.Edges = append(doc.Edges, jsonEdge{ID: e.ID, Label: e.Label, From: e.From, To: e.To, Props: e.Props})
-	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(doc)
-}
+func (g *Graph) WriteJSON(w io.Writer) error { return WriteJSONView(g, w) }
 
 // ReadJSON parses a graph previously written with WriteJSON. Node and edge
 // IDs are preserved. Numeric property values decode as float64 (JSON

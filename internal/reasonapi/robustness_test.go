@@ -240,6 +240,7 @@ func TestConcurrentReadsDuringAugment(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	})
 
+	nodes := it.Graph.Nodes()
 	augDone := make(chan int, 1)
 	go func() {
 		resp, err := http.Post(srv.URL+"/v1/augment", "application/json",
@@ -269,9 +270,41 @@ func TestConcurrentReadsDuringAugment(t *testing.T) {
 		t.Error("503 without Retry-After header")
 	}
 
+	// The MVCC contract: while the augment is parked inside its first round
+	// (the gate is still closed), reads answer 200 from the pinned prior
+	// version instead of queueing behind the writer. A bounded client makes
+	// a regression fail fast instead of hanging the test.
+	quick := &http.Client{Timeout: 5 * time.Second}
+	for _, path := range []string{
+		"/v1/stats",
+		"/v1/closelinks",
+		"/v1/control?node=" + itoa(nodes[0]),
+	} {
+		resp, err := quick.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("read %s blocked behind the in-flight augment: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("read %s during augment: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// A counterfactual is a read too: it overlays the prior version and must
+	// not wait for the writer either.
+	wiresp, err := quick.Post(srv.URL+"/v1/whatif", "application/json",
+		strings.NewReader(`{"ops":[{"op":"addNode","name":"Hypothetical"}]}`))
+	if err != nil {
+		t.Fatalf("what-if blocked behind the in-flight augment: %v", err)
+	}
+	io.Copy(io.Discard, wiresp.Body)
+	wiresp.Body.Close()
+	if wiresp.StatusCode != 200 {
+		t.Errorf("what-if during augment: status %d, want 200", wiresp.StatusCode)
+	}
+
 	close(gate) // let the augmentation proceed while reads hammer it
 
-	nodes := it.Graph.Nodes()
 	var wg sync.WaitGroup
 	errs := make(chan string, 256)
 	for w := 0; w < 8; w++ {

@@ -11,6 +11,7 @@
 //	GET  /v1/accumulated?from=ID&to=ID  — accumulated ownership Φ(from, to)
 //	POST /v1/augment                    — run KG augmentation (family links)
 //	POST /v1/reason                     — evaluate a Vadalog program (budgeted)
+//	POST /v1/whatif                     — counterfactual scenario over an overlay
 //	GET  /v1/graph                      — the property graph as JSON
 //	GET  /v1/explain?from=ID&to=ID      — derivation tree of a control decision
 //	POST /v1/admin/snapshot             — force a durable snapshot (persistence)
@@ -20,6 +21,16 @@
 // The server holds one graph, injected at construction; mutation happens
 // only through /v1/augment, which returns 503 + Retry-After when a mutation
 // is already in flight instead of queueing.
+//
+// Reads are MVCC snapshots: the graph is published through a store.Versioned
+// chain of immutable versions, read handlers pin the current version without
+// taking any lock, and /v1/augment builds the successor in a copy-on-write
+// overlay transaction — an in-flight augmentation never blocks a read, and a
+// reader never observes a half-applied mutation. /v1/whatif layers a further
+// private overlay on the pinned version, so counterfactuals touch neither
+// the published chain nor the WAL. Follower mode keeps the locked read path:
+// there the replication stream rewrites the graph in place under the write
+// lock.
 //
 // Every request runs under a wall-clock deadline (Config.Timeout) and the
 // chase-backed endpoints under a resource Budget; when a limit trips, the
@@ -56,7 +67,9 @@ import (
 	"vadalink/internal/pg"
 	"vadalink/internal/relstore"
 	"vadalink/internal/replication"
+	"vadalink/internal/store"
 	"vadalink/internal/vadalog"
+	"vadalink/internal/whatif"
 )
 
 // DefaultTimeout is the per-request wall-clock budget when Config.Timeout
@@ -173,6 +186,17 @@ type Server struct {
 	g   *pg.Graph
 	cfg Config
 
+	// vs is the MVCC version chain in leader/standalone mode: reads pin
+	// Current() lock-free, /v1/augment commits overlay transactions against
+	// it, and s.g stays the private writer master the WAL hook hangs on.
+	// nil in follower mode, where reads stay under mu.
+	vs *store.Versioned
+
+	// blCache holds the what-if baseline of one (version, threshold) pair;
+	// every /v1/whatif against the same published version reuses it instead
+	// of re-chasing the base graph.
+	blCache atomic.Pointer[baselineEntry]
+
 	// augMu serializes /v1/augment; TryLock turns contention into 503
 	// instead of an unbounded queue on mu.
 	augMu sync.Mutex
@@ -215,8 +239,26 @@ func NewServerWith(g *pg.Graph, cfg Config) *Server {
 		// inside the same critical section.
 		fl.SetLock(&s.mu)
 		fl.OnSwap(func(ng *pg.Graph) { s.g = ng })
+		return s
 	}
+	// Leader/standalone: publish the graph as version 0 and serve reads from
+	// the immutable version chain. s.g remains the writer master — commits
+	// replay onto it, so a WAL capture hook set by persistence keeps seeing
+	// exactly the committed mutations.
+	s.vs = store.NewVersioned(g)
 	return s
+}
+
+// view returns the read view for one request plus a release function. In
+// MVCC mode it pins the currently published immutable version — no lock, no
+// contention with an in-flight augment. In follower mode it takes the read
+// lock, because the replication stream mutates the served graph in place.
+func (s *Server) view() (pg.View, func()) {
+	if s.vs != nil {
+		return s.vs.Current().View(), func() {}
+	}
+	s.mu.RLock()
+	return s.g, s.mu.RUnlock
 }
 
 // engineOptions is the budgeted engine configuration for request-triggered
@@ -251,6 +293,7 @@ func (s *Server) Handler() http.Handler {
 		{"GET /v1/closelinks", s.handleCloseLinks},
 		{"GET /v1/accumulated", s.handleAccumulated},
 		{"POST /v1/augment", s.handleAugment},
+		{"POST /v1/whatif", s.handleWhatif},
 		{"POST /v1/reason", s.handleReason},
 		{"GET /v1/graph", s.handleGraph},
 		{"GET /v1/explain", s.handleExplain},
@@ -544,9 +587,9 @@ func truncMeta(err error) map[string]any {
 // handleUBO lists the ultimate beneficial owners of a company:
 // GET /v1/ubo?node=ID.
 func (s *Server) handleUBO(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	node, err := s.parseNode(r, "node")
+	v, release := s.view()
+	defer release()
+	node, err := parseNode(v, r, "node")
 	if err != nil {
 		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
@@ -555,10 +598,10 @@ func (s *Server) handleUBO(w http.ResponseWriter, r *http.Request) {
 		ID   pg.NodeID `json:"id"`
 		Name any       `json:"name,omitempty"`
 	}
-	ubos, runErr := control.UltimateControllersCtx(r.Context(), s.g, node)
+	ubos, runErr := control.UltimateControllersCtx(r.Context(), v, node)
 	out := make([]item, 0, len(ubos))
 	for _, id := range ubos {
-		out = append(out, item{ID: id, Name: s.g.Node(id).Props["name"]})
+		out = append(out, item{ID: id, Name: v.Node(id).Props["name"]})
 	}
 	resp := map[string]any{"node": node, "ultimateControllers": out}
 	for k, v := range truncMeta(runErr) {
@@ -570,9 +613,9 @@ func (s *Server) handleUBO(w http.ResponseWriter, r *http.Request) {
 // handleNeighborhood returns the ego network of a node as graph JSON:
 // GET /v1/neighborhood?node=ID&hops=2.
 func (s *Server) handleNeighborhood(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	node, err := s.parseNode(r, "node")
+	v, release := s.view()
+	defer release()
+	node, err := parseNode(v, r, "node")
 	if err != nil {
 		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
@@ -586,7 +629,7 @@ func (s *Server) handleNeighborhood(w http.ResponseWriter, r *http.Request) {
 		}
 		hops = v
 	}
-	sub, _ := s.g.Neighborhood(node, hops)
+	sub, _ := pg.NeighborhoodOf(v, node, hops)
 	w.Header().Set("Content-Type", "application/json")
 	_ = sub.WriteJSON(w)
 }
@@ -594,19 +637,19 @@ func (s *Server) handleNeighborhood(w http.ResponseWriter, r *http.Request) {
 // handleExplain returns the derivation tree of a control decision — the §5
 // explainability property over HTTP: GET /v1/explain?from=ID&to=ID.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	from, err := s.parseNode(r, "from")
+	v, release := s.view()
+	defer release()
+	from, err := parseNode(v, r, "from")
 	if err != nil {
 		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	to, err := s.parseNode(r, "to")
+	to, err := parseNode(v, r, "to")
 	if err != nil {
 		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	reasoner := vadalog.NewReasoner(s.g, vadalog.TaskControl)
+	reasoner := vadalog.NewReasoner(v, vadalog.TaskControl)
 	reasoner.EngineOptions = append(s.engineOptions(), datalog.WithProvenance())
 	runErr := reasoner.RunContext(r.Context())
 	if e := reasoner.Engine(); e != nil {
@@ -656,12 +699,12 @@ func writeErr(w http.ResponseWriter, r *http.Request, status int, code string, f
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, graphstats.Compute(s.g))
+	v, release := s.view()
+	defer release()
+	writeJSON(w, http.StatusOK, graphstats.Compute(v))
 }
 
-func (s *Server) parseNode(r *http.Request, param string) (pg.NodeID, error) {
+func parseNode(v pg.View, r *http.Request, param string) (pg.NodeID, error) {
 	raw := r.URL.Query().Get(param)
 	if raw == "" {
 		return 0, fmt.Errorf("missing %q parameter", param)
@@ -670,28 +713,28 @@ func (s *Server) parseNode(r *http.Request, param string) (pg.NodeID, error) {
 	if err != nil {
 		return 0, fmt.Errorf("bad %q parameter: %v", param, err)
 	}
-	if s.g.Node(pg.NodeID(id)) == nil {
+	if v.Node(pg.NodeID(id)) == nil {
 		return 0, fmt.Errorf("unknown node %d", id)
 	}
 	return pg.NodeID(id), nil
 }
 
 func (s *Server) handleControl(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	node, err := s.parseNode(r, "node")
+	v, release := s.view()
+	defer release()
+	node, err := parseNode(v, r, "node")
 	if err != nil {
 		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	controlled, runErr := control.ControlsCtx(r.Context(), s.g, node)
+	controlled, runErr := control.ControlsCtx(r.Context(), v, node)
 	type item struct {
 		ID   pg.NodeID `json:"id"`
 		Name any       `json:"name,omitempty"`
 	}
 	out := make([]item, 0, len(controlled))
 	for _, id := range controlled {
-		out = append(out, item{ID: id, Name: s.g.Node(id).Props["name"]})
+		out = append(out, item{ID: id, Name: v.Node(id).Props["name"]})
 	}
 	resp := map[string]any{"node": node, "controls": out}
 	for k, v := range truncMeta(runErr) {
@@ -701,9 +744,9 @@ func (s *Server) handleControl(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleControlPairs(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	pairs, runErr := control.AllPairsCtx(r.Context(), s.g)
+	v, release := s.view()
+	defer release()
+	pairs, runErr := control.AllPairsCtx(r.Context(), v)
 	if runErr == nil {
 		writeJSON(w, http.StatusOK, pairs)
 		return
@@ -716,8 +759,8 @@ func (s *Server) handleControlPairs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCloseLinks(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	v, release := s.view()
+	defer release()
 	t := closelink.DefaultThreshold
 	if raw := r.URL.Query().Get("t"); raw != "" {
 		v, err := strconv.ParseFloat(raw, 64)
@@ -727,7 +770,7 @@ func (s *Server) handleCloseLinks(w http.ResponseWriter, r *http.Request) {
 		}
 		t = v
 	}
-	links, runErr := closelink.CloseLinksCtx(r.Context(), s.g, t, closelink.Options{})
+	links, runErr := closelink.CloseLinksCtx(r.Context(), v, t, closelink.Options{})
 	type item struct {
 		A      pg.NodeID `json:"a"`
 		B      pg.NodeID `json:"b"`
@@ -750,19 +793,19 @@ func (s *Server) handleCloseLinks(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAccumulated(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	from, err := s.parseNode(r, "from")
+	v, release := s.view()
+	defer release()
+	from, err := parseNode(v, r, "from")
 	if err != nil {
 		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	to, err := s.parseNode(r, "to")
+	to, err := parseNode(v, r, "to")
 	if err != nil {
 		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	phi, runErr := closelink.AccumulatedCtx(r.Context(), s.g, from, to, closelink.Options{})
+	phi, runErr := closelink.AccumulatedCtx(r.Context(), v, from, to, closelink.Options{})
 	resp := map[string]any{"from": from, "to": to, "phi": phi}
 	for k, v := range truncMeta(runErr) {
 		resp[k] = v
@@ -829,9 +872,30 @@ func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.augMu.Unlock()
 	s.activeMut.Add(1)
-	s.mu.Lock()
-	res, err := aug.RunContext(r.Context(), s.g)
-	s.mu.Unlock()
+	var res *core.Result
+	if s.vs != nil {
+		// Run the augmentation on a copy-on-write overlay transaction:
+		// readers keep serving the published version untouched for the whole
+		// run. Commit replays the journal onto the writer master (where the
+		// WAL capture hook lives) and publishes the successor version; it
+		// runs even after an interrupted chase, because completed rounds are
+		// monotone and must persist. s.mu guards the master against a
+		// concurrent admin snapshot reading it mid-replay.
+		txn := s.vs.Begin()
+		res, err = aug.RunContext(r.Context(), txn.Overlay())
+		s.mu.Lock()
+		_, cerr := txn.Commit()
+		s.mu.Unlock()
+		if cerr != nil {
+			s.activeMut.Add(-1)
+			writeErr(w, r, http.StatusInternalServerError, "internal", "commit failed: %v", cerr)
+			return
+		}
+	} else {
+		s.mu.Lock()
+		res, err = aug.RunContext(r.Context(), s.g)
+		s.mu.Unlock()
+	}
 	// Durability before acknowledgement: whatever the run added (even the
 	// completed rounds of an interrupted run) must be in the WAL and synced
 	// before any response promises it exists.
@@ -880,6 +944,143 @@ func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
 			"matchMillis": res.MatchTime.Milliseconds(),
 		},
 	})
+}
+
+// baselineEntry caches the derived baseline of one (published version,
+// threshold) pair, so a burst of what-if scenarios against the same version
+// re-chases the base graph once, not once per request.
+type baselineEntry struct {
+	seq       uint64
+	threshold float64
+	bl        *whatif.Baseline
+}
+
+// baselineFor returns the what-if baseline of a published version, computing
+// and caching it on first use. Single-entry cache: an augment publishes a new
+// version and naturally evicts the stale baseline on the next what-if.
+func (s *Server) baselineFor(ctx context.Context, ver *store.Version, threshold float64) (*whatif.Baseline, error) {
+	if e := s.blCache.Load(); e != nil && e.seq == ver.Seq() && e.threshold == threshold {
+		return e.bl, nil
+	}
+	bl, err := whatif.ComputeBaseline(ctx, ver.View(), threshold, s.engineOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	s.blCache.Store(&baselineEntry{seq: ver.Seq(), threshold: threshold, bl: bl})
+	return bl, nil
+}
+
+// whatifRequest describes a POST /v1/whatif counterfactual: a batch of
+// hypothetical graph operations plus the close-link threshold to reason at.
+type whatifRequest struct {
+	// Ops are applied in order to a private overlay; see whatif.Op for the
+	// vocabulary (addNode, addShare, setShare, removeEdge, removeNode).
+	Ops []whatif.Op `json:"ops"`
+	// Threshold is the close-link threshold; 0 means the paper's 20%.
+	Threshold float64 `json:"threshold"`
+}
+
+// handleWhatif evaluates a counterfactual scenario: POST /v1/whatif. The ops
+// apply to a copy-on-write overlay on the pinned read view, the chase runs
+// over the composite, and the response reports how control and close-link
+// would change. The published graph and the WAL are never touched — a
+// what-if burst is invisible to every other client.
+func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
+	var req whatifRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "bad request body: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "a what-if scenario needs at least one op")
+		return
+	}
+	threshold := req.Threshold
+	if threshold == 0 {
+		threshold = whatif.DefaultThreshold
+	}
+	if threshold < 0 || threshold > 1 {
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "threshold must be in (0, 1], got %v", req.Threshold)
+		return
+	}
+
+	opt := whatif.Options{Threshold: threshold, Engine: s.engineOptions()}
+	var (
+		res *whatif.Result
+		seq uint64
+		err error
+	)
+	if s.vs != nil {
+		ver := s.vs.Current()
+		seq = ver.Seq()
+		var bl *whatif.Baseline
+		if bl, err = s.baselineFor(r.Context(), ver, threshold); err == nil {
+			res, err = whatif.Evaluate(r.Context(), ver.View(), bl, req.Ops, opt)
+		}
+	} else {
+		// Follower mode: no version chain — evaluate under the read lock so
+		// the replication stream cannot rewrite the graph mid-chase. No
+		// baseline cache either: the stream advances the graph out of band.
+		s.mu.RLock()
+		var bl *whatif.Baseline
+		if bl, err = whatif.ComputeBaseline(r.Context(), s.g, threshold, s.engineOptions()...); err == nil {
+			res, err = whatif.Evaluate(r.Context(), s.g, bl, req.Ops, opt)
+		}
+		s.mu.RUnlock()
+	}
+	if err != nil {
+		var oe *whatif.OpError
+		var be *datalog.BudgetExceededError
+		switch {
+		case errors.As(err, &oe):
+			writeErr(w, r, http.StatusBadRequest, "bad_op", "op %d: %v", oe.Index, oe.Err)
+		case errors.As(err, &be),
+			errors.Is(err, context.DeadlineExceeded),
+			errors.Is(err, context.Canceled):
+			// The counterfactual chase tripped a limit: nothing partial is
+			// worth returning (a truncated diff would lie), so report 503
+			// like an interrupted augment.
+			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfterSeconds()))
+			resp := map[string]any{
+				"error":      fmt.Sprintf("what-if interrupted: %v", err),
+				"code":       "interrupted",
+				"requestID":  requestIDFrom(r),
+				"retryAfter": s.cfg.retryAfterSeconds(),
+			}
+			for k, v := range truncMeta(err) {
+				resp[k] = v
+			}
+			writeJSON(w, http.StatusServiceUnavailable, resp)
+		default:
+			writeErr(w, r, http.StatusInternalServerError, "internal", "what-if failed: %v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":         seq,
+		"threshold":       threshold,
+		"created":         res.Created,
+		"delta":           res.Delta,
+		"affectedSources": res.AffectedSources,
+		"control": map[string]any{
+			"gained": pairObjects(res.ControlGained),
+			"lost":   pairObjects(res.ControlLost),
+		},
+		"closeLinks": map[string]any{
+			"gained": pairObjects(res.CloseLinkGained),
+			"lost":   pairObjects(res.CloseLinkLost),
+		},
+	})
+}
+
+// pairObjects renders node pairs as {"x": id, "y": id} objects, never null.
+func pairObjects(ps []whatif.Pair) []map[string]pg.NodeID {
+	out := make([]map[string]pg.NodeID, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, map[string]pg.NodeID{"x": p[0], "y": p[1]})
+	}
+	return out
 }
 
 // reasonRequest configures a POST /v1/reason evaluation: a Vadalog program
@@ -931,11 +1132,11 @@ func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Extract the graph's relational image under the read lock, then run
-	// the chase without holding it.
-	s.mu.RLock()
-	facts := relstore.CompanyGraphFacts(s.g)
-	s.mu.RUnlock()
+	// Extract the relational image of the pinned read view (in follower
+	// mode: under the read lock), then run the chase without holding it.
+	v, release := s.view()
+	facts := relstore.CompanyGraphFacts(v)
+	release()
 	engine.AssertAll(facts)
 
 	runErr := engine.RunContext(r.Context())
@@ -1006,8 +1207,8 @@ func jsonValue(v any) any {
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	v, release := s.view()
+	defer release()
 	w.Header().Set("Content-Type", "application/json")
-	_ = s.g.WriteJSON(w)
+	_ = pg.WriteJSONView(v, w)
 }

@@ -43,7 +43,7 @@ var NodeProps = []string{"name", "birth", "addr", "sector"}
 // CompanyGraphFacts maps a company graph to its relational representation:
 // company(id, props...), person(id, props...), own(from, to, w) — the
 // extensional component of the knowledge graph (Example 3.1).
-func CompanyGraphFacts(g *pg.Graph) []datalog.Fact {
+func CompanyGraphFacts(g pg.View) []datalog.Fact {
 	var facts []datalog.Fact
 	for _, id := range g.Nodes() {
 		n := g.Node(id)
@@ -89,7 +89,7 @@ func CompanyGraphFacts(g *pg.Graph) []datalog.Fact {
 // node(id, props...), nodetype(id, type), link(id, from, to, w),
 // edgetype(id, type). Every label is promoted, so predicted edges round-trip
 // too.
-func GenericFacts(g *pg.Graph) []datalog.Fact {
+func GenericFacts(g pg.View) []datalog.Fact {
 	var facts []datalog.Fact
 	for _, id := range g.Nodes() {
 		n := g.Node(id)
@@ -131,7 +131,7 @@ var LinkClassPredicates = map[string]pg.Label{
 // closelink/2, partnerof/2, ...) from an evaluated engine and materializes
 // them as typed edges in the graph, skipping edges that already exist. It
 // returns the number of edges added.
-func ApplyPredictedLinks(g *pg.Graph, e *datalog.Engine) (int, error) {
+func ApplyPredictedLinks(g pg.Mutable, e *datalog.Engine) (int, error) {
 	added := 0
 	preds := make([]string, 0, len(LinkClassPredicates))
 	for p := range LinkClassPredicates {

@@ -1,0 +1,203 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vadalink/internal/faultinject"
+	"vadalink/internal/pg"
+)
+
+// MVCC errors.
+var (
+	// ErrConflict is returned by Txn.Commit when another transaction
+	// published a version after this transaction began. The transaction's
+	// overlay is unchanged; the caller may re-begin and replay.
+	ErrConflict = errors.New("store: transaction conflicts with a newer committed version")
+	// ErrTxnDone is returned by Txn.Commit on a transaction that was
+	// already committed or aborted.
+	ErrTxnDone = errors.New("store: transaction already finished")
+)
+
+// DefaultFlattenDepth is the overlay-chain depth at which a commit folds
+// the chain into a flat clone of the writer master. Depth-1 chains keep
+// commits O(delta); flattening bounds the per-read indirection cost and is
+// paid by the (rare, already O(graph)) write path, never by readers.
+const DefaultFlattenDepth = 4
+
+// Version is one immutable published state of a versioned graph. Its View
+// is frozen — safe for unsynchronized concurrent reads for as long as any
+// reader holds it, regardless of how many versions have been published
+// since.
+type Version struct {
+	view  pg.View
+	seq   uint64
+	depth int
+}
+
+// View returns the frozen graph view of this version.
+func (v *Version) View() pg.View { return v.view }
+
+// Seq returns the version's commit sequence number (0 for the initial
+// version, +1 per committed transaction).
+func (v *Version) Seq() uint64 { return v.seq }
+
+// Depth reports the overlay-chain depth of the version's view (0 = flat
+// graph).
+func (v *Version) Depth() int { return v.depth }
+
+// Versioned is a multi-version store over a property graph. It keeps one
+// mutable writer "master" — the graph handed to NewVersioned, which retains
+// its mutation hook, so a WAL-capturing persist layer keeps observing every
+// committed change — and an atomically published chain of immutable read
+// versions:
+//
+//   - Current returns the latest published Version; its View never changes,
+//     so readers and the chase run lock-free against it while writers work.
+//   - Begin opens a transaction: a copy-on-write overlay on the current
+//     version. Mutations touch only the overlay.
+//   - Commit replays the overlay's journal onto the master (firing the
+//     master's mutation hook — the only place WAL records originate) and
+//     publishes the overlay as the next version with a single atomic
+//     pointer swap. Concurrency control is optimistic: a commit that lost
+//     the race to a newer version fails with ErrConflict.
+//
+// Every FlattenDepth commits the chain is folded into a flat clone of the
+// master so read indirection stays bounded.
+type Versioned struct {
+	master       *pg.Graph
+	mu           sync.Mutex // serializes commits (master replay + publish)
+	curr         atomic.Pointer[Version]
+	flattenDepth int
+}
+
+// VersionedOptions tunes a Versioned store.
+type VersionedOptions struct {
+	// FlattenDepth is the overlay-chain depth at which commits flatten;
+	// 0 means DefaultFlattenDepth.
+	FlattenDepth int
+}
+
+// NewVersioned wraps g as the writer master of a versioned store and
+// publishes a flat clone of it as version 0. The clone does not inherit
+// g's mutation hook (pg.Clone never does), so published read views are
+// invisible to the WAL: durability capture happens exactly once, on the
+// master, at commit time.
+//
+// After NewVersioned the caller must stop mutating g directly — every
+// change goes through Begin/Commit, which keeps master and published
+// versions in lockstep.
+func NewVersioned(g *pg.Graph, opts ...VersionedOptions) *Versioned {
+	fd := DefaultFlattenDepth
+	if len(opts) > 0 && opts[0].FlattenDepth > 0 {
+		fd = opts[0].FlattenDepth
+	}
+	vs := &Versioned{master: g, flattenDepth: fd}
+	vs.curr.Store(&Version{view: g.Clone(), seq: 0, depth: 0})
+	return vs
+}
+
+// Current returns the latest published version. Lock-free.
+func (vs *Versioned) Current() *Version { return vs.curr.Load() }
+
+// Txn is one writer transaction: an overlay over the version that was
+// current at Begin. It is not safe for concurrent use; the overlay is
+// frozen the moment Commit publishes it.
+type Txn struct {
+	vs   *Versioned
+	base *Version
+	o    *pg.Overlay
+	done bool
+}
+
+// Begin opens a transaction on the current version.
+func (vs *Versioned) Begin() *Txn {
+	base := vs.Current()
+	return &Txn{vs: vs, base: base, o: pg.NewOverlay(base.view)}
+}
+
+// Overlay returns the transaction's mutable overlay. Mutations applied to
+// it are invisible to readers until Commit.
+func (t *Txn) Overlay() *pg.Overlay { return t.o }
+
+// Base returns the version the transaction is stacked on.
+func (t *Txn) Base() *Version { return t.base }
+
+// Commit publishes the transaction as the next version. It fails with
+// ErrConflict if a newer version was published after Begin, with
+// pg.ErrWhatIfOnly if the overlay holds uncommittable mutations, and with
+// ErrTxnDone if the transaction already finished. On success the overlay
+// must no longer be mutated.
+func (t *Txn) Commit() (*Version, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	journal, err := t.o.Journal()
+	if err != nil {
+		return nil, err
+	}
+	vs := t.vs
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	if vs.curr.Load() != t.base {
+		return nil, ErrConflict
+	}
+	if err := replay(vs.master, journal); err != nil {
+		return nil, err
+	}
+	t.done = true
+	faultinject.Fire(faultinject.SiteStoreSwap)
+	next := &Version{view: t.o, seq: t.base.seq + 1, depth: t.base.depth + 1}
+	if next.depth >= vs.flattenDepth {
+		next.view = vs.master.Clone()
+		next.depth = 0
+	}
+	vs.curr.Store(next)
+	return next, nil
+}
+
+// Abort discards the transaction. The overlay is dropped; nothing was ever
+// visible to readers or the master.
+func (t *Txn) Abort() { t.done = true }
+
+// replay applies an overlay journal onto the master graph. Overlays assign
+// IDs continuing from their base's counters and the master tracks the
+// published chain exactly, so replayed IDs must come out identical; any
+// divergence means the master was mutated outside a transaction and the
+// store must fail loudly rather than publish a forked history.
+func replay(g *pg.Graph, journal []pg.Mutation) error {
+	for _, m := range journal {
+		switch m.Kind {
+		case pg.MutAddNode:
+			id := g.AddNode(m.Node.Label, cloneProps(m.Node.Props))
+			if id != m.Node.ID {
+				return fmt.Errorf("store: commit replay: node id %d, overlay assigned %d (master mutated outside a transaction?)", id, m.Node.ID)
+			}
+		case pg.MutAddEdge:
+			id, err := g.AddEdge(m.Edge.Label, m.Edge.From, m.Edge.To, cloneProps(m.Edge.Props))
+			if err != nil {
+				return fmt.Errorf("store: commit replay: %w", err)
+			}
+			if id != m.Edge.ID {
+				return fmt.Errorf("store: commit replay: edge id %d, overlay assigned %d (master mutated outside a transaction?)", id, m.Edge.ID)
+			}
+		case pg.MutRemoveEdge:
+			if !g.RemoveEdge(m.Edge.ID) {
+				return fmt.Errorf("store: commit replay: remove of unknown edge %d", m.Edge.ID)
+			}
+		default:
+			return fmt.Errorf("store: commit replay: unknown mutation kind %d", m.Kind)
+		}
+	}
+	return nil
+}
+
+func cloneProps(p pg.Properties) pg.Properties {
+	c := make(pg.Properties, len(p))
+	for k, v := range p {
+		c[k] = v
+	}
+	return c
+}

@@ -1,0 +1,152 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"vadalink/internal/pg"
+)
+
+func seedGraph() *pg.Graph {
+	g := pg.New()
+	a := g.AddNode(pg.LabelCompany, pg.Properties{"name": "A"})
+	b := g.AddNode(pg.LabelCompany, pg.Properties{"name": "B"})
+	c := g.AddNode(pg.LabelCompany, pg.Properties{"name": "C"})
+	g.MustAddEdgeWeighted(a, b, 0.6)
+	g.MustAddEdgeWeighted(b, c, 0.8)
+	return g
+}
+
+func TestVersionedCommitPublishes(t *testing.T) {
+	g := seedGraph()
+	vs := NewVersioned(g)
+	v0 := vs.Current()
+	if v0.Seq() != 0 || v0.Depth() != 0 {
+		t.Fatalf("initial version seq=%d depth=%d, want 0/0", v0.Seq(), v0.Depth())
+	}
+
+	txn := vs.Begin()
+	o := txn.Overlay()
+	n := o.AddNode(pg.LabelCompany, pg.Properties{"name": "D"})
+	if _, err := o.AddShare(0, n, 0.3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uncommitted work is invisible: the current version still reads the
+	// original state.
+	if got := vs.Current().View().NumNodes(); got != 3 {
+		t.Fatalf("pre-commit view has %d nodes, want 3", got)
+	}
+
+	v1, err := txn.Commit()
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if vs.Current() != v1 || v1.Seq() != 1 {
+		t.Fatalf("Current() != committed version (seq %d)", v1.Seq())
+	}
+	if got := v1.View().NumNodes(); got != 4 {
+		t.Fatalf("post-commit view has %d nodes, want 4", got)
+	}
+	// The frozen prior version is untouched.
+	if got := v0.View().NumNodes(); got != 3 {
+		t.Fatalf("prior version mutated: %d nodes", got)
+	}
+	// The master tracked the commit.
+	if got := g.NumNodes(); got != 4 {
+		t.Fatalf("master has %d nodes, want 4", got)
+	}
+	// Double-commit is rejected.
+	if _, err := txn.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("second Commit err = %v, want ErrTxnDone", err)
+	}
+}
+
+func TestVersionedConflict(t *testing.T) {
+	vs := NewVersioned(seedGraph())
+	t1 := vs.Begin()
+	t2 := vs.Begin()
+	t1.Overlay().AddNode(pg.LabelCompany, nil)
+	t2.Overlay().AddNode(pg.LabelPerson, nil)
+	if _, err := t1.Commit(); err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	if _, err := t2.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting commit err = %v, want ErrConflict", err)
+	}
+	// The loser never reached the master or the published chain.
+	if got := vs.Current().View().NodesWithLabel(pg.LabelPerson); len(got) != 0 {
+		t.Fatalf("aborted txn leaked nodes: %v", got)
+	}
+}
+
+func TestVersionedRejectsWhatIfOverlay(t *testing.T) {
+	g := seedGraph()
+	vs := NewVersioned(g)
+	txn := vs.Begin()
+	edge := txn.Overlay().EdgesWithLabel(pg.LabelShareholding)[0]
+	if err := txn.Overlay().SetEdgeWeight(edge, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Commit(); !errors.Is(err, pg.ErrWhatIfOnly) {
+		t.Fatalf("Commit of what-if overlay err = %v, want pg.ErrWhatIfOnly", err)
+	}
+	if vs.Current().Seq() != 0 {
+		t.Fatal("what-if overlay was published")
+	}
+}
+
+func TestVersionedFlattens(t *testing.T) {
+	g := seedGraph()
+	vs := NewVersioned(g, VersionedOptions{FlattenDepth: 2})
+	for i := 0; i < 5; i++ {
+		txn := vs.Begin()
+		txn.Overlay().AddNode(pg.LabelCompany, nil)
+		v, err := txn.Commit()
+		if err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+		if v.Depth() >= 2 {
+			t.Fatalf("commit %d: depth %d not flattened", i, v.Depth())
+		}
+		if _, isGraph := v.View().(*pg.Graph); (v.Depth() == 0) != isGraph {
+			t.Fatalf("commit %d: depth %d but view flat=%v", i, v.Depth(), isGraph)
+		}
+		if got, want := v.View().NumNodes(), 3+i+1; got != want {
+			t.Fatalf("commit %d: %d nodes, want %d", i, got, want)
+		}
+	}
+}
+
+// TestVersionedHookFiresOnCommitOnly pins the durability contract: the
+// master's mutation hook — the seam the WAL hangs on — observes exactly the
+// committed journal, exactly once, and nothing during overlay mutation or
+// on read-only what-if overlays.
+func TestVersionedHookFiresOnCommitOnly(t *testing.T) {
+	g := seedGraph()
+	var fired []pg.MutationKind
+	g.SetMutationHook(func(m pg.Mutation) { fired = append(fired, m.Kind) })
+	vs := NewVersioned(g)
+
+	// A what-if burst over the current version: no hook activity.
+	for i := 0; i < 5; i++ {
+		o := pg.NewOverlay(vs.Current().View())
+		o.AddNode(pg.LabelCompany, nil)
+		o.RemoveNode(0)
+	}
+	if len(fired) != 0 {
+		t.Fatalf("hook fired %d times during what-if burst", len(fired))
+	}
+
+	txn := vs.Begin()
+	txn.Overlay().AddNode(pg.LabelCompany, nil)
+	if len(fired) != 0 {
+		t.Fatalf("hook fired %d times before commit", len(fired))
+	}
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != pg.MutAddNode {
+		t.Fatalf("hook observed %v, want exactly [MutAddNode]", fired)
+	}
+}

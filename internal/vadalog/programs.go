@@ -11,6 +11,11 @@
 // the counts honest.
 package vadalog
 
+import (
+	"strconv"
+	"strings"
+)
+
 // InputMapping is Algorithm 2: promotion of the concrete company schema into
 // generic nodes and links with types. Skolem functions invent node OIDs with
 // disjoint ranges for persons and companies; edge OIDs are existential.
@@ -53,6 +58,14 @@ accown(Z, X, W1), W1 >= 0.2, accown(Z, Y, W2), W2 >= 0.2, X != Y,
     company(X, N1, B1, A1, S1), company(Y, N2, B2, A2, S2) -> clcand(X, Y).
 clcand(X, Y) -> closelink(X, Y).
 `
+
+// CloseLinkProgramT is CloseLinkProgram with the close-link threshold t
+// inlined in place of the ECB default 0.2 (the EBA uses 0.1; supervisors
+// run sensitivity sweeps over t).
+func CloseLinkProgramT(t float64) string {
+	s := strconv.FormatFloat(t, 'g', -1, 64)
+	return strings.ReplaceAll(CloseLinkProgram, "0.2", s)
+}
 
 // PartnerProgram is Algorithm 7: the Candidate predicate for the PartnerOf
 // class — person pairs whose combined feature-match probability exceeds 0.5.

@@ -28,7 +28,7 @@ const (
 // graph: the §5 architecture's "reasoning API" core. Construct with
 // NewReasoner, then Run once; result accessors read the derived predicates.
 type Reasoner struct {
-	g      *pg.Graph
+	g      pg.View
 	engine *datalog.Engine
 	tasks  Task
 
@@ -43,8 +43,11 @@ type Reasoner struct {
 	EngineOptions []datalog.Option
 }
 
-// NewReasoner prepares a reasoner for the given tasks.
-func NewReasoner(g *pg.Graph, tasks Task) *Reasoner {
+// NewReasoner prepares a reasoner for the given tasks. The graph may be any
+// read view — a flat graph, a frozen MVCC snapshot, or a what-if overlay;
+// reasoning never mutates it (Apply requires a mutable view and fails
+// otherwise).
+func NewReasoner(g pg.View, tasks Task) *Reasoner {
 	return &Reasoner{g: g, tasks: tasks}
 }
 
@@ -255,5 +258,9 @@ func (r *Reasoner) Apply() (int, error) {
 	if r.engine == nil {
 		return 0, fmt.Errorf("vadalog: Apply before Run")
 	}
-	return relstore.ApplyPredictedLinks(r.g, r.engine)
+	m, ok := r.g.(pg.Mutable)
+	if !ok {
+		return 0, fmt.Errorf("vadalog: Apply on a read-only view")
+	}
+	return relstore.ApplyPredictedLinks(m, r.engine)
 }

@@ -1,0 +1,507 @@
+// Package whatif evaluates counterfactual ownership scenarios — "A acquires
+// 30% of B: who gains control? which close links appear?" — the workload of
+// the COVID-19 golden-powers follow-up to the Vada-Link paper.
+//
+// A scenario is a batch of hypothetical mutations applied to a copy-on-write
+// overlay (pg.Overlay) over a frozen base view. The chase then runs over the
+// composite view and the derived control/closeLink relations are diffed
+// against a precomputed baseline of the base view. The base graph is never
+// copied and never mutated; the WAL never sees a what-if.
+//
+// Evaluation is scoped: control(x, ·) and accumulated ownership accown(x, ·)
+// depend only on the shareholding cone reachable from x, so a source x whose
+// cone contains no mutated edge derives exactly its baseline facts. The
+// evaluator computes the affected-source set (reverse shareholding
+// reachability from every mutated edge's owner side, in both base and
+// composite), re-chases only those sources — seeding the engine with the
+// baseline's accumulated-ownership rows for unaffected sources, sound
+// because msum takes the per-contributor maximum — and splices the result
+// into the baseline. On registry-scale graphs a small scenario touches a
+// tiny cone, which is what makes /v1/whatif interactive where a full
+// re-chase is not. The unscoped path (Options.NoScope) evaluates every
+// source and exists so differential tests can pin scoped == unscoped ==
+// flatten-and-re-chase.
+package whatif
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vadalink/internal/datalog"
+	"vadalink/internal/pg"
+	"vadalink/internal/relstore"
+)
+
+// DefaultThreshold is the close-link threshold when a scenario does not set
+// one (the ECB value).
+const DefaultThreshold = 0.2
+
+// DefaultMinAggDelta is the monotonic-aggregate convergence step used for
+// what-if chases unless Options.Engine overrides it. Scenario mutations
+// routinely create ownership cycles (cross-shareholding), and on a cyclic
+// graph the engine's exact-fixpoint default grinds: every sub-threshold
+// improvement event asserts another stale accown row, and the cascade of
+// improvement events grows exponentially in -log(eps). 1e-4 converges in
+// seconds where 1e-6 takes minutes and 1e-9 effectively never; the bounded
+// error (≤ eps per contributor) is far below the share-fraction precision
+// real registries record.
+const DefaultMinAggDelta = 1e-4
+
+// Op is one hypothetical mutation of a scenario batch.
+//
+// Kinds:
+//
+//   - "addNode": add a node; Label is "Company" (default) or "Person", Name
+//     an optional display name. Nodes are assigned IDs sequentially from the
+//     base view's NextNodeID, so later ops in the same batch can reference
+//     them.
+//   - "addShare": add a shareholding From → To with weight W in (0, 1].
+//     The incoming shares of To must stay ≤ 1 — nobody acquires more of a
+//     company than exists, and the bound keeps the chase convergent.
+//   - "setShare": override the weight of the shareholding edge Edge — or,
+//     when Edge is zero and From/To are set, of the unique shareholding edge
+//     From → To — to W.
+//   - "removeEdge": remove edge Edge.
+//   - "removeNode": remove Node and every edge incident to it.
+type Op struct {
+	Op    string    `json:"op"`
+	Label string    `json:"label,omitempty"`
+	Name  string    `json:"name,omitempty"`
+	From  pg.NodeID `json:"from,omitempty"`
+	To    pg.NodeID `json:"to,omitempty"`
+	W     float64   `json:"w,omitempty"`
+	Edge  pg.EdgeID `json:"edge,omitempty"`
+	Node  pg.NodeID `json:"node,omitempty"`
+}
+
+// OpError reports an invalid scenario op by batch index.
+type OpError struct {
+	Index int
+	Err   error
+}
+
+func (e *OpError) Error() string { return fmt.Sprintf("whatif: op %d: %v", e.Index, e.Err) }
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+// Pair is a directed (or canonicalized symmetric) node pair.
+type Pair = [2]pg.NodeID
+
+// Baseline is the derived state of one base view: the control relation, the
+// (canonicalized) close-link relation, and the final accumulated-ownership
+// rows grouped by source. Computing it costs one full chase; a server caches
+// one per published version and every what-if against that version reuses
+// it.
+type Baseline struct {
+	Threshold float64
+	Control   map[Pair]bool
+	CloseLink map[Pair]bool
+
+	accownBySource map[pg.NodeID][]datalog.Fact
+}
+
+// ControlSize reports the number of control pairs in the baseline.
+func (b *Baseline) ControlSize() int { return len(b.Control) }
+
+// CloseLinkSize reports the number of (unordered) close-link pairs.
+func (b *Baseline) CloseLinkSize() int { return len(b.CloseLink) }
+
+// programText builds the control + close-link chase program. When scoped,
+// derivation of control candidates and accumulated ownership is restricted
+// to sources with an affected(X) fact; pair formation stays global so
+// baseline-seeded accown rows participate.
+func programText(threshold float64, scoped bool) string {
+	t := strconv.FormatFloat(threshold, 'g', -1, 64)
+	guard := ""
+	if scoped {
+		guard = ", affected(X)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "company(X, N, B, A, S)%s -> ccand(X, X).\n", guard)
+	fmt.Fprintf(&b, "person(X, N, B, A, S)%s -> ccand(X, X).\n", guard)
+	b.WriteString("ccand(X, Z), own(Z, Y, W), X != Y, S = msum(W, <Z>), S > 0.5 -> ccand(X, Y).\n")
+	b.WriteString("ccand(X, Y), X != Y -> control(X, Y).\n")
+	fmt.Fprintf(&b, "own(X, Y, W)%s, X != Y, S = msum(W, <X, Y>) -> accown(X, Y, S).\n", guard)
+	fmt.Fprintf(&b, "own(X, Z, W1)%s, X != Z, accown(Z, Y, W2), X != Y, S = msum(W1 * W2, <Z, Y>) -> accown(X, Y, S).\n", guard)
+	fmt.Fprintf(&b, "accown(X, Y, W), W >= %s, company(X, N1, B1, A1, S1), company(Y, N2, B2, A2, S2) -> clcand(X, Y).\n", t)
+	b.WriteString("clcand(X, Y) -> clcand(Y, X).\n")
+	fmt.Fprintf(&b, "accown(Z, X, W1), W1 >= %s, accown(Z, Y, W2), W2 >= %s, X != Y, company(X, N1, B1, A1, S1), company(Y, N2, B2, A2, S2) -> clcand(X, Y).\n", t, t)
+	b.WriteString("clcand(X, Y) -> closelink(X, Y).\n")
+	return b.String()
+}
+
+// withWhatIfDefaults prepends the package convergence default so explicit
+// caller options still win (later options overwrite earlier ones). The
+// baseline and the scenario chase must run under the same step or the
+// seeded rows would not line up with re-derived ones.
+func withWhatIfDefaults(opts []datalog.Option) []datalog.Option {
+	return append([]datalog.Option{datalog.WithMinAggDelta(DefaultMinAggDelta)}, opts...)
+}
+
+func toID(v any) (pg.NodeID, bool) {
+	switch x := v.(type) {
+	case int64:
+		return pg.NodeID(x), true
+	case float64:
+		return pg.NodeID(int64(x)), float64(int64(x)) == x
+	}
+	return 0, false
+}
+
+func canonical(a, b pg.NodeID) Pair {
+	if b < a {
+		a, b = b, a
+	}
+	return Pair{a, b}
+}
+
+// ComputeBaseline runs the full control + close-link chase over a view and
+// captures the state what-if evaluation diffs against. threshold 0 means
+// DefaultThreshold.
+func ComputeBaseline(ctx context.Context, v pg.View, threshold float64, engineOpts ...datalog.Option) (*Baseline, error) {
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	prog, err := datalog.Parse(programText(threshold, false))
+	if err != nil {
+		return nil, fmt.Errorf("whatif: parsing baseline program: %w", err)
+	}
+	e, err := datalog.NewEngine(prog, withWhatIfDefaults(engineOpts)...)
+	if err != nil {
+		return nil, fmt.Errorf("whatif: preparing baseline engine: %w", err)
+	}
+	e.AssertAll(relstore.CompanyGraphFacts(v))
+	if err := e.RunContext(ctx); err != nil {
+		return nil, fmt.Errorf("whatif: baseline chase: %w", err)
+	}
+	bl := &Baseline{
+		Threshold:      threshold,
+		Control:        pairSet(e, "control", false),
+		CloseLink:      pairSet(e, "closelink", true),
+		accownBySource: map[pg.NodeID][]datalog.Fact{},
+	}
+	for _, f := range e.MaxByGroup("accown", 2, 0, 1) {
+		if src, ok := toID(f.Args[0]); ok {
+			bl.accownBySource[src] = append(bl.accownBySource[src], f)
+		}
+	}
+	return bl, nil
+}
+
+func pairSet(e *datalog.Engine, pred string, canon bool) map[Pair]bool {
+	out := map[Pair]bool{}
+	for _, f := range e.Facts(pred) {
+		if len(f.Args) != 2 {
+			continue
+		}
+		a, ok1 := toID(f.Args[0])
+		b, ok2 := toID(f.Args[1])
+		if !ok1 || !ok2 {
+			continue
+		}
+		if canon {
+			out[canonical(a, b)] = true
+		} else {
+			out[Pair{a, b}] = true
+		}
+	}
+	return out
+}
+
+// Options tunes a what-if evaluation.
+type Options struct {
+	// Threshold is the close-link threshold; 0 means DefaultThreshold. It
+	// must match the baseline's.
+	Threshold float64
+	// NoScope disables affected-cone scoping: every source is re-derived.
+	// Slower; exists for differential testing and benchmarking.
+	NoScope bool
+	// Engine options (budget, parallelism, ...) applied to the chase.
+	Engine []datalog.Option
+}
+
+// Result reports one evaluated scenario.
+type Result struct {
+	// Created lists the node IDs assigned to addNode ops, in op order.
+	Created []pg.NodeID
+	// Delta summarizes the overlay the scenario built.
+	Delta pg.Delta
+	// AffectedSources is the number of sources re-derived (equals the total
+	// source count when scoping is off).
+	AffectedSources int
+	// Control/CloseLink diffs versus the baseline, sorted. CloseLink pairs
+	// are canonicalized (A ≤ B); control pairs are directed.
+	ControlGained   []Pair
+	ControlLost     []Pair
+	CloseLinkGained []Pair
+	CloseLinkLost   []Pair
+
+	// Composite relations (full sets on the overlay view), for callers that
+	// need more than the diff.
+	Control   map[Pair]bool
+	CloseLink map[Pair]bool
+}
+
+// shareEps absorbs float noise when checking the 100%-ownership invariant.
+const shareEps = 1e-9
+
+// incomingShares totals the shareholding weights into a node. Scenario ops
+// must keep this ≤ 1 — nobody can own more than all of a company — which is
+// also what bounds the accumulated-ownership fixpoint: with incoming totals
+// above 1, a cyclic ownership structure can amplify accown without limit and
+// the chase diverges.
+func incomingShares(v pg.View, to pg.NodeID) float64 {
+	total := 0.0
+	for _, e := range v.InLabel(to, pg.LabelShareholding) {
+		if w, ok := e.Weight(); ok {
+			total += w
+		}
+	}
+	return total
+}
+
+// Apply validates and applies a scenario batch to an overlay, returning the
+// IDs of created nodes and the set of "changed sources" — the owner-side
+// endpoints of every mutated shareholding edge — that seeds affected-cone
+// scoping.
+func Apply(o *pg.Overlay, ops []Op) (created []pg.NodeID, changed map[pg.NodeID]bool, err error) {
+	changed = map[pg.NodeID]bool{}
+	for i, op := range ops {
+		switch op.Op {
+		case "addNode":
+			label := pg.LabelCompany
+			switch op.Label {
+			case "", string(pg.LabelCompany):
+			case string(pg.LabelPerson):
+				label = pg.LabelPerson
+			default:
+				return nil, nil, &OpError{i, fmt.Errorf("unknown node label %q", op.Label)}
+			}
+			props := pg.Properties{}
+			if op.Name != "" {
+				props["name"] = op.Name
+			}
+			created = append(created, o.AddNode(label, props))
+		case "addShare":
+			if op.W <= 0 || op.W > 1 {
+				return nil, nil, &OpError{i, fmt.Errorf("share amount %v outside (0,1]", op.W)}
+			}
+			if _, err := o.AddShare(op.From, op.To, op.W); err != nil {
+				return nil, nil, &OpError{i, err}
+			}
+			if to := o.Node(op.To); to.Label != pg.LabelCompany {
+				return nil, nil, &OpError{i, fmt.Errorf("shareholding target %d is %s, want Company", op.To, to.Label)}
+			}
+			if total := incomingShares(o, op.To); total > 1+shareEps {
+				return nil, nil, &OpError{i, fmt.Errorf("incoming shares of %d would total %.4f > 1", op.To, total)}
+			}
+			changed[op.From] = true
+		case "setShare":
+			id := op.Edge
+			if id == 0 && (op.From != 0 || op.To != 0) {
+				var matches []pg.EdgeID
+				for _, e := range o.OutLabel(op.From, pg.LabelShareholding) {
+					if e.To == op.To {
+						matches = append(matches, e.ID)
+					}
+				}
+				if len(matches) != 1 {
+					return nil, nil, &OpError{i, fmt.Errorf("%d shareholding edges %d → %d, need exactly 1 (use \"edge\")", len(matches), op.From, op.To)}
+				}
+				id = matches[0]
+			}
+			e := o.Edge(id)
+			if e == nil {
+				return nil, nil, &OpError{i, fmt.Errorf("unknown edge %d", id)}
+			}
+			if err := o.SetEdgeWeight(id, op.W); err != nil {
+				return nil, nil, &OpError{i, err}
+			}
+			if total := incomingShares(o, e.To); total > 1+shareEps {
+				return nil, nil, &OpError{i, fmt.Errorf("incoming shares of %d would total %.4f > 1", e.To, total)}
+			}
+			changed[e.From] = true
+		case "removeEdge":
+			e := o.Edge(op.Edge)
+			if e == nil {
+				return nil, nil, &OpError{i, fmt.Errorf("unknown edge %d", op.Edge)}
+			}
+			if e.Label == pg.LabelShareholding {
+				changed[e.From] = true
+			}
+			o.RemoveEdge(op.Edge)
+		case "removeNode":
+			if o.Node(op.Node) == nil {
+				return nil, nil, &OpError{i, fmt.Errorf("unknown node %d", op.Node)}
+			}
+			// Every incident shareholding edge disappears: the node itself
+			// and the owners of its shares are changed sources.
+			changed[op.Node] = true
+			for _, e := range o.InLabel(op.Node, pg.LabelShareholding) {
+				changed[e.From] = true
+			}
+			o.RemoveNode(op.Node)
+		default:
+			return nil, nil, &OpError{i, fmt.Errorf("unknown op %q", op.Op)}
+		}
+	}
+	return created, changed, nil
+}
+
+// affectedSources computes reverse shareholding reachability from the
+// changed sources, over both the base and the composite view: every source
+// whose ownership cone can reach a mutated edge, and whose derived facts
+// must therefore be re-chased. Sound for control and accown because both
+// relations for source x depend only on edges among nodes forward-reachable
+// from x.
+func affectedSources(base pg.View, o *pg.Overlay, changed map[pg.NodeID]bool) map[pg.NodeID]bool {
+	affected := make(map[pg.NodeID]bool, len(changed))
+	queue := make([]pg.NodeID, 0, len(changed))
+	for n := range changed {
+		affected[n] = true
+		queue = append(queue, n)
+	}
+	views := []pg.View{base, o}
+	for len(queue) > 0 {
+		n := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, v := range views {
+			for _, e := range v.InLabel(n, pg.LabelShareholding) {
+				if !affected[e.From] {
+					affected[e.From] = true
+					queue = append(queue, e.From)
+				}
+			}
+		}
+	}
+	return affected
+}
+
+// Evaluate applies a scenario to an overlay over base, chases the composite
+// view and diffs the derived relations against the baseline. The base view
+// is read, never copied and never mutated.
+func Evaluate(ctx context.Context, base pg.View, bl *Baseline, ops []Op, opt Options) (*Result, error) {
+	threshold := opt.Threshold
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	if threshold != bl.Threshold {
+		return nil, fmt.Errorf("whatif: threshold %v does not match baseline %v", threshold, bl.Threshold)
+	}
+	o := pg.NewOverlay(base)
+	created, changed, err := Apply(o, ops)
+	if err != nil {
+		return nil, err
+	}
+
+	var affected map[pg.NodeID]bool
+	if opt.NoScope {
+		affected = map[pg.NodeID]bool{}
+		for _, id := range base.Nodes() {
+			affected[id] = true
+		}
+		for _, id := range o.Nodes() {
+			affected[id] = true
+		}
+	} else {
+		affected = affectedSources(base, o, changed)
+	}
+
+	prog, err := datalog.Parse(programText(threshold, true))
+	if err != nil {
+		return nil, fmt.Errorf("whatif: parsing scenario program: %w", err)
+	}
+	e, err := datalog.NewEngine(prog, withWhatIfDefaults(opt.Engine)...)
+	if err != nil {
+		return nil, fmt.Errorf("whatif: preparing scenario engine: %w", err)
+	}
+	e.AssertAll(relstore.CompanyGraphFacts(o))
+	affectedIDs := make([]pg.NodeID, 0, len(affected))
+	for id := range affected {
+		affectedIDs = append(affectedIDs, id)
+	}
+	sort.Slice(affectedIDs, func(i, j int) bool { return affectedIDs[i] < affectedIDs[j] })
+	for _, id := range affectedIDs {
+		e.Assert(datalog.Fact{Pred: "affected", Args: []any{int64(id)}})
+	}
+	// Seed the baseline's final accumulated-ownership rows for unaffected
+	// sources: their cones are untouched, so their rows are already exact;
+	// the affected guard keeps the rules from re-deriving them, and msum's
+	// per-contributor-maximum semantics make a final row an exact stand-in
+	// for the derivation sequence that produced it.
+	seeded := 0
+	for src, rows := range bl.accownBySource {
+		if affected[src] {
+			continue
+		}
+		e.AssertAll(rows)
+		seeded += len(rows)
+	}
+	if err := e.RunContext(ctx); err != nil {
+		return nil, fmt.Errorf("whatif: scenario chase: %w", err)
+	}
+
+	// Composite control: baseline minus affected sources, plus re-derived.
+	control := make(map[Pair]bool, len(bl.Control))
+	for p := range bl.Control {
+		if !affected[p[0]] {
+			control[p] = true
+		}
+	}
+	for p := range pairSet(e, "control", false) {
+		control[p] = true
+	}
+	// Composite close links come out of the engine whole: pair formation
+	// ran over seeded + re-derived accown rows.
+	closeLink := pairSet(e, "closelink", true)
+
+	res := &Result{
+		Created:         created,
+		Delta:           o.Delta(),
+		AffectedSources: len(affected),
+		Control:         control,
+		CloseLink:       closeLink,
+	}
+	res.ControlGained, res.ControlLost = diffSets(bl.Control, control)
+	res.CloseLinkGained, res.CloseLinkLost = diffSets(bl.CloseLink, closeLink)
+	return res, nil
+}
+
+// diffSets returns (after − before, before − after), sorted.
+func diffSets(before, after map[Pair]bool) (gained, lost []Pair) {
+	for p := range after {
+		if !before[p] {
+			gained = append(gained, p)
+		}
+	}
+	for p := range before {
+		if !after[p] {
+			lost = append(lost, p)
+		}
+	}
+	sortPairs(gained)
+	sortPairs(lost)
+	return gained, lost
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}
+
+// Programs returns the unscoped program text evaluated by ComputeBaseline,
+// for documentation and tests; it is rule-for-rule vadalog.ControlProgram +
+// vadalog.CloseLinkProgramT(threshold).
+func Programs(threshold float64) string {
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	return programText(threshold, false)
+}

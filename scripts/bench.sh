@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # bench.sh — the benchmark regression harness: runs the chase/query/augment
-# benchmarks over the graphgen size ladder and emits one BENCH_<n>.json per
+# and MVCC/what-if benchmarks over the graphgen size ladder and emits one BENCH_<n>.json per
 # size (via scripts/benchjson.go) for before/after comparison across PRs.
 #
 #   BENCHTIME=2s scripts/bench.sh        # longer per-benchmark budget
@@ -18,6 +18,6 @@ BENCH_OUT="${BENCH_OUT:-.}"
 COUNT="${COUNT:-1}"
 
 go test -run '^$' \
-    -bench 'BenchmarkChase|BenchmarkQuery|BenchmarkAugment|BenchmarkFollowerCatchup' \
+    -bench 'BenchmarkChase|BenchmarkQuery|BenchmarkAugment|BenchmarkFollowerCatchup|BenchmarkWhatIf|BenchmarkSnapshotReaders' \
     -benchtime "$BENCHTIME" -count "$COUNT" -benchmem -timeout 0 . \
   | go run scripts/benchjson.go "$BENCH_OUT"

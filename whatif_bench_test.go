@@ -1,0 +1,136 @@
+// Benchmark regression harness for the MVCC/overlay subsystem:
+// BenchmarkWhatIf pits the scoped overlay evaluation of a counterfactual
+// against the deep-copy-and-re-chase baseline it replaces, and
+// BenchmarkSnapshotReaders measures read throughput on the published version
+// chain while a writer commits continuously. scripts/bench.sh runs both.
+package vadalink_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"vadalink/internal/control"
+	"vadalink/internal/graphgen"
+	"vadalink/internal/pg"
+	"vadalink/internal/store"
+	"vadalink/internal/whatif"
+)
+
+// whatifWorkload is a fixed-seed Italian graph with a warm baseline and a
+// deterministic scenario: halve the weight of the first shareholding (a
+// decrease always satisfies the ≤100% invariant).
+func whatifWorkload(b *testing.B, n int) (*pg.Graph, *whatif.Baseline, []whatif.Op) {
+	b.Helper()
+	it := graphgen.NewItalian(graphgen.ItalianConfig{Persons: n / 2, Companies: n, Seed: 7})
+	g := it.Graph
+	bl, err := whatif.ComputeBaseline(context.Background(), g, whatif.DefaultThreshold)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shares := g.EdgesWithLabel(pg.LabelShareholding)
+	if len(shares) == 0 {
+		b.Fatal("workload has no shareholdings")
+	}
+	e := shares[0]
+	w, _ := g.Edge(e).Weight()
+	ops := []whatif.Op{{Op: "setShare", Edge: e, W: w / 2}}
+	return g, bl, ops
+}
+
+// BenchmarkWhatIf compares the two ways to answer a counterfactual over a
+// warm baseline: the scoped overlay evaluation behind POST /v1/whatif
+// ("overlay": re-chase only the affected ownership cone on a copy-on-write
+// view) versus the approach it replaces ("deepcopy": materialize the whole
+// composite graph and run the full chase from scratch).
+func BenchmarkWhatIf(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range graphgen.BenchmarkSizes {
+		if n > 10_000 {
+			continue // the 50k chase is BenchmarkChase's job
+		}
+		g, bl, ops := whatifWorkload(b, n)
+		b.Run(fmt.Sprintf("overlay/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := whatif.Evaluate(ctx, g, bl, ops, whatif.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("deepcopy/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				o := pg.NewOverlay(g)
+				if _, _, err := whatif.Apply(o, ops); err != nil {
+					b.Fatal(err)
+				}
+				flat, err := pg.Flatten(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := whatif.ComputeBaseline(ctx, flat, whatif.DefaultThreshold); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotReaders measures a realistic read (the control fixpoint
+// of one owner) against the published version chain while a writer commits
+// a steady stream of overlay transactions — the contention profile of
+// /v1/control under an in-flight /v1/augment. Readers pin versions with one
+// atomic load; throughput should not collapse under the writer.
+func BenchmarkSnapshotReaders(b *testing.B) {
+	const n = 1000
+	b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+		benchSnapshotReaders(b, n)
+	})
+}
+
+func benchSnapshotReaders(b *testing.B, n int) {
+	it := graphgen.NewItalian(graphgen.ItalianConfig{Persons: n / 2, Companies: n, Seed: 7})
+	vs := store.NewVersioned(it.Graph)
+	persons := it.Graph.NodesWithLabel(pg.LabelPerson)
+	companies := it.Graph.NodesWithLabel(pg.LabelCompany)
+	if len(persons) == 0 || len(companies) == 0 {
+		b.Fatal("workload is empty")
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			txn := vs.Begin()
+			o := txn.Overlay()
+			id := o.AddNode(pg.LabelCompany, pg.Properties{"name": fmt.Sprintf("w%d", i)})
+			o.MustAddEdge(pg.LabelShareholding, id, companies[i%len(companies)],
+				pg.Properties{pg.WeightProp: 0.0001})
+			if _, err := txn.Commit(); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			v := vs.Current().View()
+			control.Controls(v, persons[i%len(persons)])
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+}
