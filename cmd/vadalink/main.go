@@ -12,6 +12,7 @@
 //	vadalink whatif    -in graph.json -ops ops.json [-t 0.2]
 //	vadalink serve     -in graph.json [-addr :8080] [-timeout 30s]
 //	                   [-max-facts N] [-max-rounds N] [-metrics=true]
+//	                   [-min-agg-delta 1e-4] [-no-ivm]
 //	                   [-pprof] [-log-format text|json|off]
 //	                   [-data-dir DIR] [-fsync 2ms]
 //	                   [-replicate :7070] [-follow HOST:7070]
@@ -410,6 +411,8 @@ func cmdServe(args []string) {
 	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = 30s default, negative = none)")
 	maxFacts := fs.Int("max-facts", 0, "chase budget: max derived facts per request (0 = unlimited)")
 	maxRounds := fs.Int("max-rounds", 0, "chase budget: max evaluation rounds per request (0 = engine default)")
+	minAggDelta := fs.Float64("min-agg-delta", 0, "aggregate convergence step for every chase (0 = 1e-4 default, negative = exact fixpoint; exact is exponential on cyclic ownership)")
+	noIVM := fs.Bool("no-ivm", false, "disable incremental view maintenance; every read after a commit re-chases from scratch")
 	metrics := fs.Bool("metrics", true, "collect per-endpoint metrics and serve GET /v1/metrics")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logFormat := fs.String("log-format", "text", "access-log format: text | json | off")
@@ -422,6 +425,8 @@ func cmdServe(args []string) {
 	_ = fs.Parse(args)
 	cfg := vadalink.APIConfig{Timeout: *timeout, MaxRounds: *maxRounds}
 	cfg.Budget.MaxFacts = *maxFacts
+	cfg.MinAggDelta = *minAggDelta
+	cfg.DisableIVM = *noIVM
 	cfg.DisableMetrics = !*metrics
 	cfg.Pprof = *pprofOn
 	switch *logFormat {

@@ -1,0 +1,313 @@
+package datalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+const tcSrc = `
+	edge(X, Y) -> path(X, Y).
+	path(X, Z), edge(Z, Y) -> path(X, Y).
+`
+
+func edge(a, b string) Fact { return Fact{Pred: "edge", Args: []any{a, b}} }
+
+// factSet projects a predicate's facts to a comparable key set.
+func factSet(e *Engine, pred string) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range e.Facts(pred) {
+		out[f.Key()] = true
+	}
+	return out
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRetractMaintainsIndexes(t *testing.T) {
+	e := run(t, tcSrc, []Fact{edge("a", "b"), edge("b", "c"), edge("b", "d"), edge("a", "d")})
+	// Force both positional indexes of edge.
+	if got := len(e.Match("edge", "b", nil)); got != 2 {
+		t.Fatalf("Match(edge, b, _) = %d, want 2", got)
+	}
+	if got := len(e.Match("edge", nil, "d")); got != 2 {
+		t.Fatalf("Match(edge, _, d) = %d, want 2", got)
+	}
+
+	if !e.Retract(edge("b", "d")) {
+		t.Fatal("Retract of present fact returned false")
+	}
+	if e.Retract(edge("b", "d")) {
+		t.Fatal("second Retract of the same fact returned true")
+	}
+	if e.Retract(Fact{Pred: "nosuch", Args: []any{1}}) {
+		t.Fatal("Retract on unknown predicate returned true")
+	}
+
+	if e.Has(edge("b", "d")) {
+		t.Fatal("retracted fact still present")
+	}
+	if got := e.NumFacts("edge"); got != 3 {
+		t.Fatalf("NumFacts(edge) = %d, want 3", got)
+	}
+	// Both indexes must still answer correctly for every remaining fact —
+	// including the one that moved into the freed slot.
+	if got := len(e.Match("edge", "b", nil)); got != 1 {
+		t.Fatalf("post-retract Match(edge, b, _) = %d, want 1", got)
+	}
+	if got := len(e.Match("edge", nil, "d")); got != 1 {
+		t.Fatalf("post-retract Match(edge, _, d) = %d, want 1", got)
+	}
+	for _, f := range e.Facts("edge") {
+		if got := e.Match("edge", f.Args[0], f.Args[1]); len(got) != 1 {
+			t.Fatalf("Match(%v) = %v, want exactly the fact", f, got)
+		}
+	}
+	// Retract the fact occupying the last slot too (no swap needed).
+	if !e.Retract(edge("a", "d")) && !e.Retract(edge("a", "b")) {
+		t.Fatal("Retract failed")
+	}
+	if got := e.NumFacts("edge"); got != 2 {
+		t.Fatalf("NumFacts(edge) = %d, want 2", got)
+	}
+}
+
+func TestApplyDeltaDeleteRederive(t *testing.T) {
+	// Diamond a→b→d, a→c→d: path(a,d) has two derivations. Deleting edge
+	// b→d overdeletes path(b,d) and path(a,d); the latter must rederive
+	// through c.
+	e := run(t, tcSrc, []Fact{edge("a", "b"), edge("a", "c"), edge("b", "d"), edge("c", "d")})
+	res, err := e.ApplyDelta(context.Background(), []Fact{edge("b", "d")}, nil)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if e.Has(Fact{Pred: "path", Args: []any{"b", "d"}}) {
+		t.Error("path(b,d) survived deleting its only support")
+	}
+	if !e.Has(Fact{Pred: "path", Args: []any{"a", "d"}}) {
+		t.Error("path(a,d) lost despite alternative derivation via c")
+	}
+	if len(res.Removed) != 1 || res.Removed[0].Key() != (Fact{Pred: "path", Args: []any{"b", "d"}}).Key() {
+		t.Errorf("Removed = %v, want exactly path(b,d)", res.Removed)
+	}
+	if len(res.Added) != 0 {
+		t.Errorf("Added = %v, want none", res.Added)
+	}
+	if res.Overdeleted < 2 || res.Rederived < 1 {
+		t.Errorf("Overdeleted=%d Rederived=%d, want >=2 and >=1", res.Overdeleted, res.Rederived)
+	}
+}
+
+func TestApplyDeltaInsertPropagates(t *testing.T) {
+	e := run(t, tcSrc, []Fact{edge("a", "b"), edge("c", "d")})
+	res, err := e.ApplyDelta(context.Background(), nil, []Fact{edge("b", "c")})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	// New paths: b→c, a→c, b→d, a→d.
+	want := []Fact{
+		{Pred: "path", Args: []any{"a", "c"}},
+		{Pred: "path", Args: []any{"a", "d"}},
+		{Pred: "path", Args: []any{"b", "c"}},
+		{Pred: "path", Args: []any{"b", "d"}},
+	}
+	if len(res.Added) != len(want) {
+		t.Fatalf("Added = %v, want %v", res.Added, want)
+	}
+	for i, f := range want {
+		if res.Added[i].Key() != f.Key() {
+			t.Fatalf("Added[%d] = %v, want %v", i, res.Added[i], f)
+		}
+		if !e.Has(f) {
+			t.Fatalf("store missing %v", f)
+		}
+	}
+	if len(res.Removed) != 0 {
+		t.Errorf("Removed = %v, want none", res.Removed)
+	}
+}
+
+// TestApplyDeltaDifferential drives random mutation batches through
+// ApplyDelta and checks, after every batch, that the maintained store equals
+// a from-scratch chase over the same extensional database — including cycle
+// creation and deletion, and batches mixing adds and dels of the same fact.
+func TestApplyDeltaDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nodes := make([]string, 12)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("n%d", i)
+	}
+	randEdge := func() Fact {
+		return edge(nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))])
+	}
+
+	live := map[string]Fact{}
+	var start []Fact
+	for i := 0; i < 25; i++ {
+		f := randEdge()
+		live[f.Key()] = f
+	}
+	for _, f := range live {
+		start = append(start, f)
+	}
+	inc := run(t, tcSrc, start)
+
+	for step := 0; step < 60; step++ {
+		var dels, adds []Fact
+		batchAdded := map[string]bool{}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			if rng.Intn(2) == 0 && len(live) > len(batchAdded) {
+				// Delete a random pre-batch edge (ApplyDelta applies dels
+				// before adds, so deleting a same-batch addition would not
+				// model delete-after-add).
+				k := rng.Intn(len(live))
+				for _, f := range live {
+					if batchAdded[f.Key()] {
+						continue
+					}
+					if k <= 0 {
+						dels = append(dels, f)
+						delete(live, f.Key())
+						break
+					}
+					k--
+				}
+			} else {
+				f := randEdge()
+				if _, ok := live[f.Key()]; !ok {
+					adds = append(adds, f)
+					live[f.Key()] = f
+					batchAdded[f.Key()] = true
+				}
+			}
+		}
+		res, err := inc.ApplyDelta(context.Background(), dels, adds)
+		if err != nil {
+			t.Fatalf("step %d: ApplyDelta: %v", step, err)
+		}
+
+		// Oracle: full chase from scratch over the same EDB.
+		var edb []Fact
+		for _, f := range live {
+			edb = append(edb, f)
+		}
+		oracle := run(t, tcSrc, edb)
+		if got, want := factSet(inc, "path"), factSet(oracle, "path"); !sameSet(got, want) {
+			t.Fatalf("step %d (dels=%v adds=%v): incremental path set diverged\n got: %v\nwant: %v",
+				step, dels, adds, got, want)
+		}
+		if got, want := factSet(inc, "edge"), factSet(oracle, "edge"); !sameSet(got, want) {
+			t.Fatalf("step %d: edge set diverged", step)
+		}
+		// The reported deltas must be internally consistent: no fact both
+		// added and removed, adds present, removes absent.
+		for _, f := range res.Added {
+			if !inc.Has(f) {
+				t.Fatalf("step %d: Added fact %v not in store", step, f)
+			}
+		}
+		for _, f := range res.Removed {
+			if inc.Has(f) {
+				t.Fatalf("step %d: Removed fact %v still in store", step, f)
+			}
+		}
+	}
+}
+
+func TestApplyDeltaProvenance(t *testing.T) {
+	prog := MustParse(tcSrc)
+	e, err := NewEngine(prog, WithProvenance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AssertAll([]Fact{edge("a", "b"), edge("a", "c"), edge("b", "d"), edge("c", "d")})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ApplyDelta(context.Background(), []Fact{edge("b", "d")}, []Fact{edge("d", "e")}); err != nil {
+		t.Fatal(err)
+	}
+	// A rederived fact explains through the surviving derivation.
+	if d, ok := e.Explain(Fact{Pred: "path", Args: []any{"a", "d"}}); !ok || len(d.Premises) == 0 {
+		t.Errorf("rederived path(a,d) has no explanation (ok=%v, %+v)", ok, d)
+	}
+	// A forward-derived fact explains through the insertion.
+	if d, ok := e.Explain(Fact{Pred: "path", Args: []any{"a", "e"}}); !ok || len(d.Premises) == 0 {
+		t.Errorf("new path(a,e) has no explanation (ok=%v, %+v)", ok, d)
+	}
+	// A removed fact no longer explains.
+	if _, ok := e.Explain(Fact{Pred: "path", Args: []any{"b", "d"}}); ok {
+		t.Error("removed path(b,d) still has a derivation")
+	}
+}
+
+func TestApplyDeltaRefusals(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name, src string
+	}{
+		{"aggregate", `own(X, Y, W), S = msum(W, <Y>) -> total(X, S).`},
+		{"negation", `node(X), not blocked(X) -> ok(X).`},
+		{"existential head", `person(X) -> knows(X, Z).`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := NewEngine(MustParse(tc.src))
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			_, err = e.ApplyDelta(ctx, nil, nil)
+			var ni *ErrNotIncremental
+			if !errors.As(err, &ni) {
+				t.Fatalf("ApplyDelta err = %v, want ErrNotIncremental", err)
+			}
+		})
+	}
+
+	// Deltas over derived predicates are refused.
+	e := run(t, tcSrc, []Fact{edge("a", "b")})
+	if _, err := e.ApplyDelta(ctx, nil, []Fact{{Pred: "path", Args: []any{"x", "y"}}}); err == nil {
+		t.Fatal("asserting a derived predicate through ApplyDelta succeeded")
+	}
+	if _, err := e.ApplyDelta(ctx, []Fact{{Pred: "path", Args: []any{"a", "b"}}}, nil); err == nil {
+		t.Fatal("retracting a derived predicate through ApplyDelta succeeded")
+	}
+}
+
+func TestApplyDeltaHonorsContext(t *testing.T) {
+	e := run(t, tcSrc, []Fact{edge("a", "b"), edge("b", "c")})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.ApplyDelta(ctx, nil, []Fact{edge("c", "d")})
+	var be *BudgetExceededError
+	if !errors.As(err, &be) || be.Limit != LimitCancelled {
+		t.Fatalf("ApplyDelta on cancelled ctx = %v, want LimitCancelled", err)
+	}
+}
+
+func TestApplyDeltaNoopBatches(t *testing.T) {
+	e := run(t, tcSrc, []Fact{edge("a", "b")})
+	// Deleting an absent fact and re-adding a present one are both no-ops.
+	res, err := e.ApplyDelta(context.Background(), []Fact{edge("x", "y")}, []Fact{edge("a", "b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Added)+len(res.Removed)+res.Overdeleted != 0 {
+		t.Fatalf("no-op batch changed state: %+v", res)
+	}
+	if n := e.NumFacts("path"); n != 1 {
+		t.Fatalf("path facts = %d, want 1", n)
+	}
+}

@@ -1,0 +1,195 @@
+package ivm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vadalink/internal/graphgen"
+	"vadalink/internal/pg"
+	"vadalink/internal/whatif"
+)
+
+// randomCommit mutates the overlay with 1–4 random operations — share adds
+// (including cycle-creating ones: any source, any target), reweights, edge
+// removals, node removals and node additions — and reports how many applied.
+func randomCommit(rng *rand.Rand, o *pg.Overlay) int {
+	applied := 0
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		switch rng.Intn(6) {
+		case 0, 1: // bias toward adds so graphs don't wither
+			nodes := o.Nodes()
+			if len(nodes) < 2 {
+				continue
+			}
+			from := nodes[rng.Intn(len(nodes))]
+			to := nodes[rng.Intn(len(nodes))]
+			if from == to && rng.Intn(4) != 0 {
+				continue // keep a few self-loops, not many
+			}
+			if _, err := o.AddShare(from, to, 0.05+0.9*rng.Float64()); err == nil {
+				applied++
+			}
+		case 2:
+			shares := o.EdgesWithLabel(pg.LabelShareholding)
+			if len(shares) == 0 {
+				continue
+			}
+			if err := o.SetEdgeWeight(shares[rng.Intn(len(shares))], 0.05+0.9*rng.Float64()); err == nil {
+				applied++
+			}
+		case 3:
+			shares := o.EdgesWithLabel(pg.LabelShareholding)
+			if len(shares) == 0 {
+				continue
+			}
+			if o.RemoveEdge(shares[rng.Intn(len(shares))]) {
+				applied++
+			}
+		case 4:
+			nodes := o.Nodes()
+			if len(nodes) < 5 {
+				continue
+			}
+			if o.RemoveNode(nodes[rng.Intn(len(nodes))]) {
+				applied++
+			}
+		case 5:
+			label := pg.LabelCompany
+			if rng.Intn(4) == 0 {
+				label = pg.LabelPerson
+			}
+			o.AddNode(label, pg.Properties{"name": fmt.Sprintf("new%d", rng.Int())})
+			applied++
+		}
+	}
+	return applied
+}
+
+// TestDifferentialMaintenance is the ground-truth harness for incremental
+// view maintenance: across 100+ randomized generated graphs (Barabási
+// scale-free and Italian-style) and random committed mutation streams —
+// share adds and removals, reweights, cycle-creating edges, node churn —
+// the maintained baseline must agree with a from-scratch full chase of the
+// post-commit graph on the control relation, the close-link relation and
+// the threshold-crossing accown rows, after every single commit.
+func TestDifferentialMaintenance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness is not short")
+	}
+	thresholds := []float64{0.1, 0.2, 0.3}
+
+	const cases = 105
+	ran := 0
+	for i := 0; i < cases; i++ {
+		rng := rand.New(rand.NewSource(int64(7000 + i)))
+		var base *pg.Graph
+		if i%5 == 4 {
+			base = graphgen.NewItalian(graphgen.ItalianConfig{
+				Companies: 10 + rng.Intn(10),
+				Persons:   6 + rng.Intn(6),
+				Seed:      int64(i + 1),
+			}).Graph
+		} else {
+			base = graphgen.Barabasi(8+rng.Intn(16), 1+rng.Intn(3), int64(i+1))
+		}
+		threshold := thresholds[i%len(thresholds)]
+		d := newDriver(t, base, threshold)
+		name := fmt.Sprintf("case %d (t=%v, %d nodes)", i, threshold, base.NumNodes())
+
+		commits := 0
+		for c := 0; c < 6; c++ {
+			txn := d.vs.Begin()
+			if randomCommit(rng, txn.Overlay()) == 0 {
+				txn.Abort()
+				continue
+			}
+			if _, err := txn.Commit(); err != nil {
+				t.Fatalf("%s: commit %d: %v", name, c, err)
+			}
+			commits++
+			if len(d.applyErrs) > 0 {
+				t.Fatalf("%s: commit %d: maintenance failed: %v", name, c, d.applyErrs)
+			}
+			checkAgainstOracle(t, fmt.Sprintf("%s commit %d", name, c), d.maintained(), d.oracle())
+			if t.Failed() {
+				t.Fatalf("%s: stopping after first divergence", name)
+			}
+		}
+		if commits > 0 {
+			ran++
+		}
+		st := d.m.Stats()
+		if got := st.IncrementalCommits + st.SkippedCommits; got != int64(commits) {
+			t.Fatalf("%s: stats account for %d commits, want %d (%+v)", name, got, commits, st)
+		}
+	}
+	if ran < 100 {
+		t.Fatalf("only %d effective cases ran, want >= 100", ran)
+	}
+}
+
+// TestConcurrentReadsDuringApply drives commits through the maintainer while
+// reader goroutines continuously fetch and walk published baselines — the
+// serving pattern (/v1/whatif readers vs the commit hook). Run under -race
+// this proves published baselines are immutable: maintenance builds fresh
+// maps instead of touching shared ones.
+func TestConcurrentReadsDuringApply(t *testing.T) {
+	base := graphgen.Barabasi(40, 2, 99)
+	d := newDriver(t, base, whatif.DefaultThreshold)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cur := d.vs.Current()
+				bl := d.m.Baseline(cur.Seq(), whatif.DefaultThreshold)
+				if bl == nil {
+					continue // a commit won the race; next iteration
+				}
+				// Walk every shared map the way a reader would.
+				n := 0
+				for p := range bl.Control {
+					_ = p
+					n++
+				}
+				for p := range bl.CloseLink {
+					_ = p
+					n++
+				}
+				for _, rows := range bl.Accown {
+					n += len(rows)
+				}
+				_ = n
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	for c := 0; c < 25; c++ {
+		txn := d.vs.Begin()
+		if randomCommit(rng, txn.Overlay()) == 0 {
+			txn.Abort()
+			continue
+		}
+		if _, err := txn.Commit(); err != nil {
+			t.Fatalf("commit %d: %v", c, err)
+		}
+		if len(d.applyErrs) > 0 {
+			t.Fatalf("commit %d: maintenance failed: %v", c, d.applyErrs)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	checkAgainstOracle(t, "final state", d.maintained(), d.oracle())
+}

@@ -116,14 +116,20 @@ type Store struct {
 }
 
 // SeqOfGraph computes the replication sequence number of a graph: the total
-// number of mutation records (AddNode, AddEdge, RemoveEdge) ever applied to
-// reach its state. Each AddNode advances the node-ID counter, each AddEdge
-// the edge-ID counter, and each RemoveEdge widens the gap between edges
-// ever created and edges live — so the count is derivable from any graph
-// alone, with no position file to keep in sync. A follower recovering from
-// kill -9 computes its replication position from its recovered graph.
+// number of mutation records (AddNode, AddEdge, RemoveEdge, SetEdgeWeight,
+// RemoveNode) ever applied to reach its state. Each AddNode advances the
+// node-ID counter, each AddEdge the edge-ID counter, each removal widens the
+// gap between elements ever created and elements live, and each weight edit
+// bumps the graph's weight-edit counter (carried through snapshots) — so the
+// count is derivable from any graph alone, with no position file to keep in
+// sync. A follower recovering from kill -9 computes its replication position
+// from its recovered graph. Graphs restored from snapshots that predate
+// weight edits report WeightEdits() == 0, which is exact: that code could
+// not have logged any.
 func SeqOfGraph(g *pg.Graph) int64 {
-	return int64(g.NextNodeID()) + 2*int64(g.NextEdgeID()) - int64(g.NumEdges())
+	return 2*int64(g.NextNodeID()) - int64(g.NumNodes()) +
+		2*int64(g.NextEdgeID()) - int64(g.NumEdges()) +
+		g.WeightEdits()
 }
 
 // Open recovers the store in dir (creating it if empty) and arms change

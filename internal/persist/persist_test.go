@@ -426,3 +426,70 @@ func putFrameHeader(hdr []byte, payload []byte) {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
 }
+
+// Weight edits and node removals are first-class WAL records: a store that
+// logs them recovers to the identical graph (same weights, same missing
+// node, same counters and sequence number), whether replay starts from the
+// WAL alone or from a snapshot cut after the mutations.
+func TestWALRoundTripWeightEditAndNodeRemoval(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	g := s.Graph()
+	a := g.AddNode(pg.LabelCompany, pg.Properties{"name": "A"})
+	b := g.AddNode(pg.LabelCompany, pg.Properties{"name": "B"})
+	c := g.AddNode(pg.LabelCompany, pg.Properties{"name": "C"})
+	ab := g.MustAddEdgeWeighted(a, b, 0.6)
+	g.MustAddEdgeWeighted(b, c, 0.8)
+	g.MustAddEdgeWeighted(c, a, 0.5)
+	if err := g.SetEdgeWeight(ab, 0.35); err != nil {
+		t.Fatal(err)
+	}
+	if !g.RemoveNode(c) { // removes c plus its two incident edges
+		t.Fatal("RemoveNode(c) = false")
+	}
+	wantSeq := s.Seq()
+	// 3 adds + 3 edges + 1 weight edit + 2 incident removals + 1 node = 10.
+	if wantSeq != 10 {
+		t.Fatalf("seq after mutations = %d, want 10", wantSeq)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(stage string, g2 *pg.Graph, seq int64) {
+		t.Helper()
+		if seq != wantSeq {
+			t.Fatalf("%s: recovered seq = %d, want %d", stage, seq, wantSeq)
+		}
+		if g2.Node(c) != nil {
+			t.Fatalf("%s: removed node resurrected", stage)
+		}
+		if g2.NumNodes() != 2 || g2.NumEdges() != 1 {
+			t.Fatalf("%s: recovered %d nodes / %d edges, want 2/1", stage, g2.NumNodes(), g2.NumEdges())
+		}
+		if w, _ := g2.Edge(ab).Weight(); w != 0.35 {
+			t.Fatalf("%s: recovered weight = %v, want 0.35", stage, w)
+		}
+		if g2.WeightEdits() != 1 {
+			t.Fatalf("%s: recovered WeightEdits = %d, want 1", stage, g2.WeightEdits())
+		}
+		if g2.NextNodeID() != 3 || g2.NextEdgeID() != 3 {
+			t.Fatalf("%s: counters %d/%d, want 3/3", stage, g2.NextNodeID(), g2.NextEdgeID())
+		}
+	}
+
+	// Recovery replays the records from the WAL.
+	s2 := mustOpen(t, dir, Options{})
+	check("wal replay", s2.Graph(), s2.Seq())
+	// Cut a snapshot so the next recovery loads state (including the
+	// weight-edit counter) from the snapshot instead of the log.
+	if _, err := s2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustOpen(t, dir, Options{})
+	defer s3.Close()
+	check("snapshot", s3.Graph(), s3.Seq())
+}

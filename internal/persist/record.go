@@ -17,11 +17,18 @@ import (
 // Op discriminates WAL record types.
 type Op byte
 
-// WAL operations, mirroring pg's mutation kinds.
+// WAL operations, mirroring pg's mutation kinds. Records are
+// self-describing (the op byte selects the wire shape), so adding
+// OpSetEdgeWeight and OpRemoveNode version-gated the format for free: logs
+// written before those ops existed contain only the first three and decode
+// unchanged, while old decoders meeting a new op fail loudly as "unknown
+// op" instead of misreading it.
 const (
 	OpAddNode Op = 1 + iota
 	OpAddEdge
 	OpRemoveEdge
+	OpSetEdgeWeight
+	OpRemoveNode
 )
 
 // Record is one logged mutation. IDs are explicit — replay asserts that the
@@ -29,9 +36,10 @@ const (
 // state fails loudly instead of silently weaving a graph that never existed.
 type Record struct {
 	Op       Op
-	ID       int64 // node ID for OpAddNode, edge ID otherwise
+	ID       int64 // node ID for OpAddNode/OpRemoveNode, edge ID otherwise
 	Label    string
-	From, To int64 // OpAddEdge only
+	From, To int64   // OpAddEdge only
+	W        float64 // OpSetEdgeWeight only: the new share amount
 	Props    pg.Properties
 }
 
@@ -56,8 +64,11 @@ func appendRecord(buf []byte, r Record) ([]byte, error) {
 		buf = appendString(buf, r.Label)
 		buf = binary.AppendVarint(buf, r.From)
 		buf = binary.AppendVarint(buf, r.To)
-	case OpRemoveEdge:
+	case OpRemoveEdge, OpRemoveNode:
 		return buf, nil // no label or props logged for removals
+	case OpSetEdgeWeight:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.W))
+		return buf, nil
 	default:
 		return nil, fmt.Errorf("persist: unknown op %d", r.Op)
 	}
@@ -133,7 +144,17 @@ func decodeRecord(b []byte) (Record, error) {
 		if r.To, ok = d.varint(); !ok {
 			return r, errTruncatedRecord
 		}
-	case OpRemoveEdge:
+	case OpRemoveEdge, OpRemoveNode:
+		if len(d.b) != d.off {
+			return r, fmt.Errorf("persist: %d trailing bytes after record", len(d.b)-d.off)
+		}
+		return r, nil
+	case OpSetEdgeWeight:
+		v, ok := d.u64()
+		if !ok {
+			return r, errTruncatedRecord
+		}
+		r.W = math.Float64frombits(v)
 		if len(d.b) != d.off {
 			return r, fmt.Errorf("persist: %d trailing bytes after record", len(d.b)-d.off)
 		}
@@ -261,6 +282,14 @@ func recordFor(m pg.Mutation) (Record, error) {
 			From: int64(m.Edge.From), To: int64(m.Edge.To), Props: m.Edge.Props}, nil
 	case pg.MutRemoveEdge:
 		return Record{Op: OpRemoveEdge, ID: int64(m.Edge.ID)}, nil
+	case pg.MutSetEdgeWeight:
+		w, ok := m.Edge.Weight()
+		if !ok {
+			return Record{}, fmt.Errorf("persist: weight edit of edge %d carries no weight", m.Edge.ID)
+		}
+		return Record{Op: OpSetEdgeWeight, ID: int64(m.Edge.ID), W: w}, nil
+	case pg.MutRemoveNode:
+		return Record{Op: OpRemoveNode, ID: int64(m.Node.ID)}, nil
 	}
 	return Record{}, fmt.Errorf("persist: unknown mutation kind %d", m.Kind)
 }
@@ -294,6 +323,23 @@ func apply(g *pg.Graph, r Record) error {
 	case OpRemoveEdge:
 		if !g.RemoveEdge(pg.EdgeID(r.ID)) {
 			return fmt.Errorf("persist: replayed removal of unknown edge %d", r.ID)
+		}
+	case OpSetEdgeWeight:
+		if err := g.SetEdgeWeight(pg.EdgeID(r.ID), r.W); err != nil {
+			return fmt.Errorf("persist: replaying weight edit of edge %d: %w", r.ID, err)
+		}
+	case OpRemoveNode:
+		// Every incident-edge removal was logged as its own OpRemoveEdge
+		// ahead of this record, so the node must be edge-free here. A node
+		// that still has live edges means the log is incomplete or out of
+		// order — removing them implicitly would silently diverge from the
+		// leader's weight-edit/seq accounting, so refuse instead.
+		id := pg.NodeID(r.ID)
+		if n := len(g.Out(id)) + len(g.In(id)); n > 0 {
+			return fmt.Errorf("persist: replayed removal of node %d with %d live incident edges", r.ID, n)
+		}
+		if !g.RemoveNode(id) {
+			return fmt.Errorf("persist: replayed removal of unknown node %d", r.ID)
 		}
 	default:
 		return fmt.Errorf("persist: unknown op %d", r.Op)

@@ -80,18 +80,25 @@ func (e *Edge) Weight() (float64, bool) {
 // MutationKind discriminates the committed changes a mutation hook observes.
 type MutationKind uint8
 
-// Mutation kinds, in the order the graph applies them.
+// Mutation kinds, in the order the graph applies them. MutSetEdgeWeight and
+// MutRemoveNode joined the vocabulary when weight edits and node removals
+// became first-class (journaled, WAL-captured, replicated) mutations; older
+// code only knew the first three.
 const (
 	MutAddNode MutationKind = iota + 1
 	MutAddEdge
 	MutRemoveEdge
+	MutSetEdgeWeight
+	MutRemoveNode
 )
 
 // Mutation describes one committed graph change, delivered to the hook set
 // with SetMutationHook after the change is applied. Node is set for
-// MutAddNode; Edge for MutAddEdge and MutRemoveEdge (for removals it is the
-// edge as it was). The pointed-to structs are the graph's own — observers
-// must not mutate them.
+// MutAddNode and MutRemoveNode (for removals it is the node as it was, after
+// its incident edges were removed); Edge for MutAddEdge, MutRemoveEdge (the
+// edge as it was) and MutSetEdgeWeight (the edge with its new weight already
+// applied). The pointed-to structs are the graph's own — observers must not
+// mutate them.
 type Mutation struct {
 	Kind MutationKind
 	Node *Node
@@ -113,6 +120,14 @@ type Graph struct {
 
 	byNodeLabel map[Label][]NodeID
 	byEdgeLabel map[Label][]EdgeID
+
+	// weightEdits counts committed SetEdgeWeight mutations over the graph's
+	// history. Weight edits change no node or edge count, so the durability
+	// layer's position formula (persist.SeqOfGraph) needs this counter to
+	// recompute a WAL position from a recovered graph. Snapshots persist it;
+	// graphs restored from pre-weight-edit snapshots start at zero, which is
+	// exactly right because that code could not log weight edits.
+	weightEdits int64
 
 	// onMutate, when set, observes every committed mutation — the
 	// change-capture seam the durability layer (internal/persist) hangs its
@@ -225,6 +240,67 @@ func (g *Graph) RemoveEdge(id EdgeID) bool {
 	}
 	return true
 }
+
+// SetEdgeWeight changes the share amount of a Shareholding edge in place and
+// fires MutSetEdgeWeight (the hook observes the edge with the new weight).
+// Only shareholding edges carry a weight, and Definition 2.2 bounds it to
+// (0, 1] — retracting a share entirely is RemoveEdge, not a zero weight.
+func (g *Graph) SetEdgeWeight(id EdgeID, w float64) error {
+	e, ok := g.edges[id]
+	if !ok {
+		return fmt.Errorf("pg: set edge weight: unknown edge %d", id)
+	}
+	if e.Label != LabelShareholding {
+		return fmt.Errorf("pg: set edge weight: edge %d is %s, not Shareholding", id, e.Label)
+	}
+	if w <= 0 || w > 1 {
+		return fmt.Errorf("pg: set edge weight: weight %v outside (0, 1]", w)
+	}
+	e.Props[WeightProp] = w
+	g.weightEdits++
+	if g.onMutate != nil {
+		g.onMutate(Mutation{Kind: MutSetEdgeWeight, Edge: e})
+	}
+	return nil
+}
+
+// RemoveNode deletes a node together with its incident edges. Each incident
+// edge removal fires MutRemoveEdge through the ordinary RemoveEdge path, then
+// the bare node removal fires MutRemoveNode — so a journal or WAL replaying
+// the stream applies the same steps in the same order, and the node is
+// already edge-free when its own removal record is observed. Removing a
+// missing node is a no-op returning false.
+func (g *Graph) RemoveNode(id NodeID) bool {
+	n, ok := g.nodes[id]
+	if !ok {
+		return false
+	}
+	// Snapshot the incident edge IDs: RemoveEdge mutates g.out/g.in while we
+	// iterate. A self-loop appears in both lists; RemoveEdge tolerates the
+	// second, already-deleted occurrence.
+	incident := append([]EdgeID(nil), g.out[id]...)
+	incident = append(incident, g.in[id]...)
+	for _, eid := range incident {
+		g.RemoveEdge(eid)
+	}
+	delete(g.nodes, id)
+	delete(g.out, id)
+	delete(g.in, id)
+	g.byNodeLabel[n.Label] = removeID(g.byNodeLabel[n.Label], id)
+	if g.onMutate != nil {
+		g.onMutate(Mutation{Kind: MutRemoveNode, Node: n})
+	}
+	return true
+}
+
+// WeightEdits reports the number of committed SetEdgeWeight mutations in the
+// graph's history (see the field comment; persist.SeqOfGraph consumes it).
+func (g *Graph) WeightEdits() int64 { return g.weightEdits }
+
+// SetWeightEdits overwrites the weight-edit counter. It exists for the
+// durability layer restoring a snapshot — like Restore, it rebuilds recorded
+// history rather than creating new history, so no hook fires.
+func (g *Graph) SetWeightEdits(n int64) { g.weightEdits = n }
 
 func removeID[T comparable](s []T, x T) []T {
 	for i, v := range s {
@@ -350,6 +426,7 @@ func (g *Graph) Clone() *Graph {
 	c := New()
 	c.nextNode = g.nextNode
 	c.nextEdge = g.nextEdge
+	c.weightEdits = g.weightEdits
 	for id, n := range g.nodes {
 		props := make(Properties, len(n.Props))
 		for k, v := range n.Props {

@@ -1,16 +1,9 @@
 package pg
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 )
-
-// ErrWhatIfOnly is returned by Overlay.Journal when the overlay contains
-// mutations that cannot be expressed as committed base-graph changes
-// (weight edits, node removals). Such an overlay can be read, chased and
-// diffed, but never committed to a durable base.
-var ErrWhatIfOnly = errors.New("pg: overlay contains what-if-only mutations (weight edit or node removal)")
 
 // Overlay is a copy-on-write delta stacked on a base View. Reads see the
 // base plus the overlay's added nodes/edges, minus its removals, with
@@ -48,9 +41,8 @@ type Overlay struct {
 	byNodeLabel map[Label][]NodeID
 	byEdgeLabel map[Label][]EdgeID
 
-	journal    []Mutation // base-expressible ops, in application order
-	whatIfOnly int        // count of ops with no Mutation encoding
-	depth      int
+	journal []Mutation // all ops, in application order
+	depth   int
 }
 
 // NewOverlay returns an empty overlay over base.
@@ -103,19 +95,16 @@ func (o *Overlay) Delta() Delta {
 	}
 }
 
-// WhatIfOnly reports whether the overlay contains mutations that cannot be
-// committed to a base graph (weight edits or node removals).
-func (o *Overlay) WhatIfOnly() bool { return o.whatIfOnly > 0 }
-
 // Journal returns the overlay's mutations in application order, ready to be
-// replayed onto a graph equal to the base. It fails with ErrWhatIfOnly if
-// the overlay holds mutations the committed-change vocabulary cannot
-// express. The returned slice is the overlay's own; callers must not mutate
-// it or the pointed-to nodes and edges.
+// replayed onto a graph equal to the base. Every overlay operation — adds,
+// removals, weight edits, node removals — has a Mutation encoding, so any
+// overlay is committable. The returned slice is the overlay's own; callers
+// must not mutate it or the pointed-to nodes and edges.
+//
+// The error return is always nil; it survives from the era when weight edits
+// and node removals were what-if-only and an overlay containing one could
+// not be journaled. Kept so the many call sites compile unchanged.
 func (o *Overlay) Journal() ([]Mutation, error) {
-	if o.whatIfOnly > 0 {
-		return nil, ErrWhatIfOnly
-	}
 	return o.journal, nil
 }
 
@@ -436,12 +425,10 @@ func (o *Overlay) RemoveEdge(id EdgeID) bool {
 	return true
 }
 
-// --- what-if-only mutations ---
-
 // SetEdgeWeight overrides the shareholding weight of a visible edge,
-// copy-on-write. It marks the overlay what-if-only: a weight edit has no
-// committed-change encoding, so an overlay containing one can be evaluated
-// but never committed.
+// copy-on-write, and journals a MutSetEdgeWeight. Editing the same edge
+// twice journals the shared copy twice; replay applies the final weight both
+// times, converging on the same state, which is all a journal promises.
 func (o *Overlay) SetEdgeWeight(id EdgeID, w float64) error {
 	e := o.Edge(id)
 	if e == nil {
@@ -461,15 +448,18 @@ func (o *Overlay) SetEdgeWeight(id EdgeID, w float64) error {
 			props[k] = v
 		}
 		props[WeightProp] = w
-		o.editedEdges[id] = &Edge{ID: e.ID, Label: e.Label, From: e.From, To: e.To, Props: props}
+		e = &Edge{ID: e.ID, Label: e.Label, From: e.From, To: e.To, Props: props}
+		o.editedEdges[id] = e
 	}
-	o.whatIfOnly++
+	o.journal = append(o.journal, Mutation{Kind: MutSetEdgeWeight, Edge: e})
 	return nil
 }
 
-// RemoveNode hides a visible node and all its visible incident edges. It
-// marks the overlay what-if-only. Removing a missing node is a no-op
-// returning false.
+// RemoveNode hides a visible node and all its visible incident edges.
+// Incident-edge removals journal first (through RemoveEdge), then the bare
+// node removal journals as MutRemoveNode — the same order Graph.RemoveNode
+// fires its hooks in, so replaying the journal reproduces the stream.
+// Removing a missing node is a no-op returning false.
 func (o *Overlay) RemoveNode(id NodeID) bool {
 	n := o.Node(id)
 	if n == nil {
@@ -486,6 +476,6 @@ func (o *Overlay) RemoveNode(id NodeID) bool {
 	} else {
 		o.removedNodes[id] = true
 	}
-	o.whatIfOnly++
+	o.journal = append(o.journal, Mutation{Kind: MutRemoveNode, Node: n})
 	return true
 }

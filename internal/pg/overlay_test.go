@@ -274,14 +274,23 @@ func TestOverlayJournal(t *testing.T) {
 	}
 	assertViewsEqual(t, o, replayed)
 
+	// A weight edit extends the journal like any other mutation.
 	if err := o.SetEdgeWeight(e1, 0.9); err != nil {
 		t.Fatal(err)
 	}
-	if !o.WhatIfOnly() {
-		t.Fatal("WhatIfOnly = false after SetEdgeWeight")
+	journal, err = o.Journal()
+	if err != nil {
+		t.Fatalf("Journal after weight edit: %v", err)
 	}
-	if _, err := o.Journal(); err != ErrWhatIfOnly {
-		t.Fatalf("Journal after weight edit: err = %v, want ErrWhatIfOnly", err)
+	if len(journal) != 5 {
+		t.Fatalf("journal has %d ops after weight edit, want 5", len(journal))
+	}
+	last := journal[len(journal)-1]
+	if last.Kind != MutSetEdgeWeight || last.Edge.ID != e1 {
+		t.Fatalf("last journal entry = %+v, want MutSetEdgeWeight of edge %d", last, e1)
+	}
+	if w, _ := last.Edge.Weight(); w != 0.9 {
+		t.Fatalf("journaled weight = %v, want 0.9", w)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"vadalink/internal/datalog"
+	"vadalink/internal/ivm"
 	"vadalink/internal/persist"
 	"vadalink/internal/replication"
 )
@@ -74,6 +75,10 @@ type Metrics struct {
 	// LastChase is the statistics report of the most recent chase any
 	// request triggered (/v1/reason, /v1/explain), nil before the first.
 	LastChase *datalog.ChaseStats `json:"lastChase,omitempty"`
+	// Incremental is the incremental view maintenance counter set
+	// (commits maintained vs skipped vs full rebuilds, last apply cost);
+	// absent when maintenance is disabled.
+	Incremental *ivm.Stats `json:"incremental,omitempty"`
 	// Recovery reports what startup recovery replayed (snapshot generation,
 	// WAL records, torn tails, duration) when the server is backed by a
 	// persistent store; absent on memory-only servers.

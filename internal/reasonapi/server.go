@@ -63,6 +63,7 @@ import (
 	"vadalink/internal/embed"
 	"vadalink/internal/faultinject"
 	"vadalink/internal/graphstats"
+	"vadalink/internal/ivm"
 	"vadalink/internal/persist"
 	"vadalink/internal/pg"
 	"vadalink/internal/relstore"
@@ -75,6 +76,10 @@ import (
 // DefaultTimeout is the per-request wall-clock budget when Config.Timeout
 // is zero.
 const DefaultTimeout = 30 * time.Second
+
+// ivmQueueCap bounds the follower's pending-maintenance journal; beyond it
+// a full rebuild on next read beats replaying the backlog.
+const ivmQueueCap = 1 << 16
 
 // Config tunes the resource governance of the reasoning API.
 type Config struct {
@@ -90,6 +95,19 @@ type Config struct {
 	// MaxRounds caps the engine's semi-naive rounds per evaluation;
 	// 0 keeps the engine default.
 	MaxRounds int
+
+	// MinAggDelta is the minimum monotonic-aggregate improvement the chase
+	// re-derives on. 0 means whatif.DefaultMinAggDelta (1e-4) — on cyclic
+	// ownership graphs the engine's exact-convergence default (1e-9) makes
+	// the aggregate fixpoint exponential in −log(ε), turning sub-second
+	// chases into minutes. A negative value restores the engine default for
+	// callers that need near-exact totals and accept the cost.
+	MinAggDelta float64
+
+	// DisableIVM turns off incremental view maintenance: every /v1/whatif
+	// baseline is then recomputed from scratch when the version changes.
+	// Maintenance is on by default in both leader and follower modes.
+	DisableIVM bool
 
 	// RetryAfter is advertised in the Retry-After header of 503 responses.
 	// 0 means 5 seconds.
@@ -180,6 +198,17 @@ func (c Config) maxBodyBytes() int64 {
 	return c.MaxBodyBytes
 }
 
+func (c Config) minAggDelta() float64 {
+	switch {
+	case c.MinAggDelta > 0:
+		return c.MinAggDelta
+	case c.MinAggDelta < 0:
+		return 0 // the engine resolves 0 to its exact-convergence default
+	default:
+		return whatif.DefaultMinAggDelta
+	}
+}
+
 // Server serves the reasoning API over a company graph.
 type Server struct {
 	mu  sync.RWMutex
@@ -196,6 +225,16 @@ type Server struct {
 	// every /v1/whatif against the same published version reuses it instead
 	// of re-chasing the base graph.
 	blCache atomic.Pointer[baselineEntry]
+
+	// ivmM maintains the derived ownership baseline incrementally across
+	// commits (leader: fed by the store's commit hook; follower: fed lazily
+	// from the queued replication journal). nil when Config.DisableIVM.
+	ivmM *ivm.Maintainer
+	// ivmQ buffers follower-observed mutations until a read drains them
+	// into the maintainer — frames apply under the write lock, where running
+	// a maintenance chase would stall the replication stream.
+	ivmQMu sync.Mutex
+	ivmQ   []pg.Mutation
 
 	// augMu serializes /v1/augment; TryLock turns contention into 503
 	// instead of an unbounded queue on mu.
@@ -230,6 +269,9 @@ func NewServer(g *pg.Graph) *Server { return NewServerWith(g, Config{}) }
 // follower's recovered graph and tracks it across snapshot bootstraps.
 func NewServerWith(g *pg.Graph, cfg Config) *Server {
 	s := &Server{g: g, cfg: cfg}
+	if !cfg.DisableIVM {
+		s.ivmM = ivm.New(whatif.DefaultThreshold, s.engineOptions()...)
+	}
 	if fl := cfg.Follower; fl != nil {
 		if s.g == nil {
 			s.g = fl.Graph()
@@ -238,7 +280,36 @@ func NewServerWith(g *pg.Graph, cfg Config) *Server {
 		// a half-applied mutation; a bootstrap re-points the served graph
 		// inside the same critical section.
 		fl.SetLock(&s.mu)
-		fl.OnSwap(func(ng *pg.Graph) { s.g = ng })
+		fl.OnSwap(func(ng *pg.Graph) {
+			s.g = ng
+			if s.ivmM != nil {
+				// A bootstrap replaced the graph wholesale; the journal the
+				// queue holds describes the old object.
+				s.ivmQMu.Lock()
+				s.ivmQ = nil
+				s.ivmQMu.Unlock()
+				s.ivmM.Invalidate()
+			}
+		})
+		if s.ivmM != nil {
+			// Enqueue only: the observer runs under the write lock, where a
+			// maintenance chase would stall frame application. The next read
+			// drains the queue (see followerBaselineLocked). A runaway queue
+			// (no reads at the maintained threshold for a long stretch of
+			// writes) is cheaper to rebuild than to replay, so it drops.
+			fl.OnMutation(func(mut pg.Mutation) {
+				s.ivmQMu.Lock()
+				s.ivmQ = append(s.ivmQ, mut)
+				drop := len(s.ivmQ) > ivmQueueCap
+				if drop {
+					s.ivmQ = nil
+				}
+				s.ivmQMu.Unlock()
+				if drop {
+					s.ivmM.Invalidate()
+				}
+			})
+		}
 		return s
 	}
 	// Leader/standalone: publish the graph as version 0 and serve reads from
@@ -246,6 +317,15 @@ func NewServerWith(g *pg.Graph, cfg Config) *Server {
 	// replay onto it, so a WAL capture hook set by persistence keeps seeing
 	// exactly the committed mutations.
 	s.vs = store.NewVersioned(g)
+	if s.ivmM != nil {
+		// Maintain derived state at commit time: the hook runs under the
+		// commit lock after the version is published, so maintenance sees
+		// commits in order, exactly once. Any maintenance error invalidates
+		// the maintainer and the next what-if falls back to a full chase.
+		s.vs.SetCommitHook(func(next *store.Version, journal []pg.Mutation) {
+			_ = s.ivmM.Apply(context.Background(), next.View(), next.Seq()-1, next.Seq(), journal)
+		})
+	}
 	return s
 }
 
@@ -263,9 +343,13 @@ func (s *Server) view() (pg.View, func()) {
 
 // engineOptions is the budgeted engine configuration for request-triggered
 // chases. Stats collection is on so /v1/reason and /v1/metrics can report
-// what the chase did.
+// what the chase did. The aggregate-convergence step (Config.MinAggDelta)
+// rides along so every chase the server runs — baselines, what-ifs,
+// augmentations, ad-hoc programs, incremental maintenance — shares one ε:
+// mixing steps would make seeded rows and re-derived rows disagree.
 func (s *Server) engineOptions() []datalog.Option {
 	return []datalog.Option{
+		datalog.WithMinAggDelta(s.cfg.minAggDelta()),
 		datalog.WithBudget(s.cfg.Budget),
 		datalog.WithMaxRounds(s.cfg.MaxRounds),
 		datalog.WithStats(),
@@ -547,6 +631,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := s.metrics.snapshot(s.lastChase.Load())
+	if s.ivmM != nil {
+		st := s.ivmM.Stats()
+		m.Incremental = &st
+	}
 	if ps := s.cfg.Persist; ps != nil {
 		rec, st := ps.Recovery(), ps.Stats()
 		m.Recovery, m.Persistence = &rec, &st
@@ -955,10 +1043,18 @@ type baselineEntry struct {
 	bl        *whatif.Baseline
 }
 
-// baselineFor returns the what-if baseline of a published version, computing
-// and caching it on first use. Single-entry cache: an augment publishes a new
-// version and naturally evicts the stale baseline on the next what-if.
+// baselineFor returns the what-if baseline of a published version. The
+// incrementally maintained baseline answers first (at the maintainer's
+// threshold it stays current across commits without any re-chase); the
+// single-entry cache covers other thresholds; a full chase is the fallback,
+// and its result re-seeds the maintainer so subsequent commits go back to
+// incremental maintenance.
 func (s *Server) baselineFor(ctx context.Context, ver *store.Version, threshold float64) (*whatif.Baseline, error) {
+	if m := s.ivmM; m != nil {
+		if bl := m.Baseline(ver.Seq(), threshold); bl != nil {
+			return bl, nil
+		}
+	}
 	if e := s.blCache.Load(); e != nil && e.seq == ver.Seq() && e.threshold == threshold {
 		return e.bl, nil
 	}
@@ -967,6 +1063,54 @@ func (s *Server) baselineFor(ctx context.Context, ver *store.Version, threshold 
 		return nil, err
 	}
 	s.blCache.Store(&baselineEntry{seq: ver.Seq(), threshold: threshold, bl: bl})
+	if m := s.ivmM; m != nil && threshold == m.Threshold() {
+		// Best-effort: if a commit published a newer version while this
+		// baseline was being chased, the seed is stale — Seed drops it and
+		// the commit hook's gap check keeps the maintainer honest.
+		_ = m.Seed(ctx, ver.View(), ver.Seq(), bl)
+	}
+	return bl, nil
+}
+
+// followerBaselineLocked returns the baseline for the follower's current
+// graph, maintained incrementally from the queued replication journal.
+// Callers must hold s.mu.RLock (or stronger): that excludes frame
+// application, so the queue and the graph cannot advance mid-drain; the
+// queue mutex serializes concurrent readers draining at once.
+func (s *Server) followerBaselineLocked(ctx context.Context, threshold float64) (*whatif.Baseline, error) {
+	m := s.ivmM
+	if m == nil {
+		return whatif.ComputeBaseline(ctx, s.g, threshold, s.engineOptions()...)
+	}
+	curSeq := uint64(s.cfg.Follower.Seq())
+	s.ivmQMu.Lock()
+	if pending := s.ivmQ; len(pending) > 0 {
+		if from, ok := m.Seq(); ok {
+			s.ivmQ = nil
+			_ = m.Apply(ctx, s.g, from, curSeq, pending)
+		}
+		// Invalid maintainer: leave the queue alone — it is cleared when a
+		// full chase re-seeds below, and unbounded growth is impossible
+		// because every read that recomputes also reseeds.
+	}
+	s.ivmQMu.Unlock()
+	if bl := m.Baseline(curSeq, threshold); bl != nil {
+		return bl, nil
+	}
+	bl, err := whatif.ComputeBaseline(ctx, s.g, threshold, s.engineOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	if threshold == m.Threshold() {
+		// The chase ran under the read lock, so the graph could not advance:
+		// the queued journal (if any) predates this baseline. Drop it before
+		// seeding, or the next drain would re-apply already-reflected
+		// mutations.
+		s.ivmQMu.Lock()
+		s.ivmQ = nil
+		s.ivmQMu.Unlock()
+		_ = m.Seed(ctx, s.g, curSeq, bl)
+	}
 	return bl, nil
 }
 
@@ -1020,11 +1164,14 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		// Follower mode: no version chain — evaluate under the read lock so
-		// the replication stream cannot rewrite the graph mid-chase. No
-		// baseline cache either: the stream advances the graph out of band.
+		// the replication stream cannot rewrite the graph mid-chase. The
+		// baseline is maintained incrementally from the queued replication
+		// journal (followerBaselineLocked), so steady-state reads skip the
+		// full re-chase the stream's out-of-band writes would otherwise
+		// force on every request.
 		s.mu.RLock()
 		var bl *whatif.Baseline
-		if bl, err = whatif.ComputeBaseline(r.Context(), s.g, threshold, s.engineOptions()...); err == nil {
+		if bl, err = s.followerBaselineLocked(r.Context(), threshold); err == nil {
 			res, err = whatif.Evaluate(r.Context(), s.g, bl, req.Ops, opt)
 		}
 		s.mu.RUnlock()

@@ -117,6 +117,55 @@ func GenericFacts(g pg.View) []datalog.Fact {
 	return facts
 }
 
+// NodeFact returns the relational row of one node — company(id, props...) or
+// person(id, props...) — for scoped fact extraction (incremental maintenance
+// re-asserts only the affected cone instead of the whole graph). ok is false
+// for missing nodes and labels outside the company-graph model.
+func NodeFact(g pg.View, id pg.NodeID) (datalog.Fact, bool) {
+	n := g.Node(id)
+	if n == nil {
+		return datalog.Fact{}, false
+	}
+	var pred string
+	switch n.Label {
+	case pg.LabelCompany:
+		pred = PredCompany
+	case pg.LabelPerson:
+		pred = PredPerson
+	default:
+		return datalog.Fact{}, false
+	}
+	args := make([]any, 0, 1+len(NodeProps))
+	args = append(args, int64(id))
+	for _, p := range NodeProps {
+		args = append(args, propString(n.Props, p))
+	}
+	return datalog.Fact{Pred: pred, Args: args}, true
+}
+
+// OwnFacts returns the own(from, to, w) rows of one source node, aggregating
+// parallel shareholding edges per target exactly like CompanyGraphFacts, so a
+// scoped extraction produces the same rows the full extraction would.
+func OwnFacts(g pg.View, from pg.NodeID) []datalog.Fact {
+	total := map[pg.NodeID]float64{}
+	var order []pg.NodeID
+	for _, e := range g.OutLabel(from, pg.LabelShareholding) {
+		w, _ := e.Weight()
+		if _, seen := total[e.To]; !seen {
+			order = append(order, e.To)
+		}
+		total[e.To] += w
+	}
+	facts := make([]datalog.Fact, 0, len(order))
+	for _, to := range order {
+		facts = append(facts, datalog.Fact{
+			Pred: PredOwn,
+			Args: []any{int64(from), int64(to), total[to]},
+		})
+	}
+	return facts
+}
+
 // LinkClassPredicates maps output-mapping predicate names (Algorithm 4) to
 // property-graph edge labels.
 var LinkClassPredicates = map[string]pg.Label{

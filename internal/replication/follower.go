@@ -94,6 +94,12 @@ type Follower struct {
 	// swapFns are additional graph-swap observers (see OnSwap), invoked —
 	// like FollowerOptions.OnGraphSwap — under the apply lock.
 	swapFns []func(*pg.Graph)
+
+	// mutFns are applied-mutation observers (see OnMutation), invoked under
+	// the apply lock after each shipped frame lands. An incremental view
+	// maintainer tails them to keep derived facts current without
+	// re-chasing on read.
+	mutFns []func(pg.Mutation)
 }
 
 // OpenFollower opens (or recovers) the follower's local store in dir. The
@@ -129,6 +135,13 @@ func (f *Follower) SetLock(l sync.Locker) { f.lock = l }
 // Serving layers that cache the *pg.Graph pointer re-point it here. Call
 // before Run.
 func (f *Follower) OnSwap(fn func(*pg.Graph)) { f.swapFns = append(f.swapFns, fn) }
+
+// OnMutation registers an observer of every mutation a shipped frame applies
+// to the follower's graph, called under the apply lock with the same
+// pg.Mutation a leader-side hook would have seen. A snapshot bootstrap does
+// NOT replay through it — register an OnSwap observer to resynchronize from
+// scratch on bootstrap. Call before Run.
+func (f *Follower) OnMutation(fn func(pg.Mutation)) { f.mutFns = append(f.mutFns, fn) }
 
 // Graph returns the follower's current graph. After a snapshot bootstrap
 // this is a different object — cache the pointer only via OnGraphSwap.
@@ -355,7 +368,32 @@ func (f *Follower) applyFrame(frame []byte) error {
 	// Applying the record mutates the graph, which fires the store's
 	// mutation hook: the frame lands in the follower's own WAL and advances
 	// its sequence number. Durability and position tracking come free.
-	err = persist.Apply(f.store.Graph(), rec)
+	g := f.store.Graph()
+	// Removal mutations carry the element as it was — resolve before apply.
+	var removed pg.Mutation
+	if len(f.mutFns) > 0 {
+		switch rec.Op {
+		case persist.OpRemoveEdge:
+			removed = pg.Mutation{Kind: pg.MutRemoveEdge, Edge: g.Edge(pg.EdgeID(rec.ID))}
+		case persist.OpRemoveNode:
+			removed = pg.Mutation{Kind: pg.MutRemoveNode, Node: g.Node(pg.NodeID(rec.ID))}
+		}
+	}
+	err = persist.Apply(g, rec)
+	if err == nil && len(f.mutFns) > 0 {
+		m := removed
+		switch rec.Op {
+		case persist.OpAddNode:
+			m = pg.Mutation{Kind: pg.MutAddNode, Node: g.Node(pg.NodeID(rec.ID))}
+		case persist.OpAddEdge:
+			m = pg.Mutation{Kind: pg.MutAddEdge, Edge: g.Edge(pg.EdgeID(rec.ID))}
+		case persist.OpSetEdgeWeight:
+			m = pg.Mutation{Kind: pg.MutSetEdgeWeight, Edge: g.Edge(pg.EdgeID(rec.ID))}
+		}
+		for _, fn := range f.mutFns {
+			fn(m)
+		}
+	}
 	f.lock.Unlock()
 	if err != nil {
 		return fmt.Errorf("replication: applying frame: %w", err)

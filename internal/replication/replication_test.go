@@ -402,3 +402,90 @@ func newTestCtx() (context.Context, context.CancelFunc) {
 func backoffFast() backoff.Policy {
 	return backoff.Policy{Base: time.Millisecond, Max: 10 * time.Millisecond, Jitter: 0.5}
 }
+
+// Weight edits and node removals ship as ordinary WAL frames: a follower
+// tailing a leader through them converges on the identical graph, and the
+// OnMutation observer sees every applied mutation in order with the new
+// kinds resolved.
+func TestFollowerReplicatesWeightEditAndNodeRemoval(t *testing.T) {
+	st, _, addr := testLeader(t, LeaderOptions{Heartbeat: 20 * time.Millisecond})
+	g := st.Graph()
+	a := g.AddNode(pg.LabelCompany, pg.Properties{"name": "A"})
+	b := g.AddNode(pg.LabelCompany, pg.Properties{"name": "B"})
+	c := g.AddNode(pg.LabelCompany, pg.Properties{"name": "C"})
+	ab := g.MustAddEdgeWeighted(a, b, 0.6)
+	g.MustAddEdgeWeighted(b, c, 0.8)
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var seen []pg.Mutation
+	fl, err := OpenFollower(t.TempDir(), FollowerOptions{Leader: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.OnMutation(func(m pg.Mutation) {
+		mu.Lock()
+		seen = append(seen, m)
+		mu.Unlock()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fl.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+		fl.Close()
+	})
+	waitSeq(t, fl, st.Seq())
+
+	// Live weight edit and node removal while the follower tails.
+	if err := g.SetEdgeWeight(ab, 0.15); err != nil {
+		t.Fatal(err)
+	}
+	if !g.RemoveNode(c) { // also removes the b→c edge
+		t.Fatal("RemoveNode(c) = false")
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	waitSeq(t, fl, st.Seq())
+	sameFacts(t, g, fl.Graph())
+
+	fg := fl.Graph()
+	if w, _ := fg.Edge(ab).Weight(); w != 0.15 {
+		t.Fatalf("follower weight = %v, want 0.15", w)
+	}
+	if fg.Node(c) != nil {
+		t.Fatal("follower still has removed node")
+	}
+	if got, want := persist.SeqOfGraph(fg), st.Seq(); got != want {
+		t.Fatalf("follower SeqOfGraph = %d, leader seq %d", got, want)
+	}
+
+	// The observer saw the post-bootstrap stream: the weight edit (with the
+	// new weight resolved), the incident-edge removal, then the bare node
+	// removal — in apply order.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) < 3 {
+		t.Fatalf("observer saw %d mutations, want >= 3", len(seen))
+	}
+	tail := seen[len(seen)-3:]
+	if tail[0].Kind != pg.MutSetEdgeWeight || tail[0].Edge == nil || tail[0].Edge.ID != ab {
+		t.Fatalf("mutation -3 = %+v, want weight edit of %d", tail[0], ab)
+	}
+	if w, _ := tail[0].Edge.Weight(); w != 0.15 {
+		t.Fatalf("observed weight = %v, want 0.15", w)
+	}
+	if tail[1].Kind != pg.MutRemoveEdge || tail[1].Edge == nil {
+		t.Fatalf("mutation -2 = %+v, want incident edge removal", tail[1])
+	}
+	if tail[2].Kind != pg.MutRemoveNode || tail[2].Node == nil || tail[2].Node.ID != c {
+		t.Fatalf("mutation -1 = %+v, want removal of node %d", tail[2], c)
+	}
+}

@@ -71,6 +71,12 @@ type Versioned struct {
 	mu           sync.Mutex // serializes commits (master replay + publish)
 	curr         atomic.Pointer[Version]
 	flattenDepth int
+
+	// onCommit, when set, observes every published version together with the
+	// journal that produced it — the seam an incremental view maintainer
+	// hangs on. It runs under mu, after the version is visible to readers,
+	// so observers see commits in publication order exactly once.
+	onCommit func(next *Version, journal []pg.Mutation)
 }
 
 // VersionedOptions tunes a Versioned store.
@@ -102,6 +108,16 @@ func NewVersioned(g *pg.Graph, opts ...VersionedOptions) *Versioned {
 // Current returns the latest published version. Lock-free.
 func (vs *Versioned) Current() *Version { return vs.curr.Load() }
 
+// SetCommitHook installs fn as the store's commit observer; nil removes it.
+// The hook runs synchronously inside Commit, under the commit lock, after
+// the new version is published — it must not begin or commit transactions
+// (that would deadlock), and it observes commits in order, exactly once.
+func (vs *Versioned) SetCommitHook(fn func(next *Version, journal []pg.Mutation)) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	vs.onCommit = fn
+}
+
 // Txn is one writer transaction: an overlay over the version that was
 // current at Begin. It is not safe for concurrent use; the overlay is
 // frozen the moment Commit publishes it.
@@ -126,8 +142,7 @@ func (t *Txn) Overlay() *pg.Overlay { return t.o }
 func (t *Txn) Base() *Version { return t.base }
 
 // Commit publishes the transaction as the next version. It fails with
-// ErrConflict if a newer version was published after Begin, with
-// pg.ErrWhatIfOnly if the overlay holds uncommittable mutations, and with
+// ErrConflict if a newer version was published after Begin and with
 // ErrTxnDone if the transaction already finished. On success the overlay
 // must no longer be mutated.
 func (t *Txn) Commit() (*Version, error) {
@@ -155,6 +170,9 @@ func (t *Txn) Commit() (*Version, error) {
 		next.depth = 0
 	}
 	vs.curr.Store(next)
+	if vs.onCommit != nil {
+		vs.onCommit(next, journal)
+	}
 	return next, nil
 }
 
@@ -186,6 +204,21 @@ func replay(g *pg.Graph, journal []pg.Mutation) error {
 		case pg.MutRemoveEdge:
 			if !g.RemoveEdge(m.Edge.ID) {
 				return fmt.Errorf("store: commit replay: remove of unknown edge %d", m.Edge.ID)
+			}
+		case pg.MutSetEdgeWeight:
+			w, ok := m.Edge.Weight()
+			if !ok {
+				return fmt.Errorf("store: commit replay: weight edit of edge %d carries no weight", m.Edge.ID)
+			}
+			if err := g.SetEdgeWeight(m.Edge.ID, w); err != nil {
+				return fmt.Errorf("store: commit replay: %w", err)
+			}
+		case pg.MutRemoveNode:
+			// The overlay journals the incident-edge removals ahead of the
+			// node removal, so by now the master node is edge-free and this
+			// fires exactly one MutRemoveNode on the master's hook.
+			if !g.RemoveNode(m.Node.ID) {
+				return fmt.Errorf("store: commit replay: remove of unknown node %d", m.Node.ID)
 			}
 		default:
 			return fmt.Errorf("store: commit replay: unknown mutation kind %d", m.Kind)

@@ -80,7 +80,7 @@ func TestVersionedConflict(t *testing.T) {
 	}
 }
 
-func TestVersionedRejectsWhatIfOverlay(t *testing.T) {
+func TestVersionedCommitsWeightEditAndNodeRemoval(t *testing.T) {
 	g := seedGraph()
 	vs := NewVersioned(g)
 	txn := vs.Begin()
@@ -88,11 +88,26 @@ func TestVersionedRejectsWhatIfOverlay(t *testing.T) {
 	if err := txn.Overlay().SetEdgeWeight(edge, 0.99); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := txn.Commit(); !errors.Is(err, pg.ErrWhatIfOnly) {
-		t.Fatalf("Commit of what-if overlay err = %v, want pg.ErrWhatIfOnly", err)
+	victim := txn.Overlay().Edge(edge).To
+	if !txn.Overlay().RemoveNode(victim) {
+		t.Fatalf("RemoveNode(%d) = false", victim)
 	}
-	if vs.Current().Seq() != 0 {
-		t.Fatal("what-if overlay was published")
+	v, err := txn.Commit()
+	if err != nil {
+		t.Fatalf("Commit of weight-edit + node-removal overlay: %v", err)
+	}
+	if v.Seq() != 1 {
+		t.Fatalf("published seq = %d, want 1", v.Seq())
+	}
+	// The replayed master and the published view agree.
+	if g.Node(victim) != nil || v.View().Node(victim) != nil {
+		t.Fatal("removed node survived commit")
+	}
+	if g.Edge(edge) != nil || v.View().Edge(edge) != nil {
+		t.Fatal("edge incident to removed node survived commit")
+	}
+	if g.WeightEdits() != 1 {
+		t.Fatalf("master WeightEdits = %d, want 1", g.WeightEdits())
 	}
 }
 

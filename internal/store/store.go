@@ -31,12 +31,17 @@ const (
 
 // payload is the gob-encoded snapshot body. NextNode/NextEdge are the
 // graph's ID counters (version 2; zero in version-1 snapshots, where they
-// are reconstructed as "dense").
+// are reconstructed as "dense"). WeightEdits is the graph's weight-edit
+// counter, part of the WAL-position arithmetic (persist.SeqOfGraph); gob
+// field semantics version-gate it for free — snapshots written before the
+// field existed decode with WeightEdits == 0, which is correct because that
+// code could not log weight edits.
 type payload struct {
-	Nodes    []nodeRec
-	Edges    []edgeRec
-	NextNode int64
-	NextEdge int64
+	Nodes       []nodeRec
+	Edges       []edgeRec
+	NextNode    int64
+	NextEdge    int64
+	WeightEdits int64
 }
 
 type nodeRec struct {
@@ -69,8 +74,9 @@ func Write(w io.Writer, g *pg.Graph) error {
 		return fmt.Errorf("store: writing header: %w", err)
 	}
 	p := payload{
-		NextNode: int64(g.NextNodeID()),
-		NextEdge: int64(g.NextEdgeID()),
+		NextNode:    int64(g.NextNodeID()),
+		NextEdge:    int64(g.NextEdgeID()),
+		WeightEdits: g.WeightEdits(),
 	}
 	for _, id := range g.Nodes() {
 		n := g.Node(id)
@@ -126,6 +132,7 @@ func Read(r io.Reader) (*pg.Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	g.SetWeightEdits(p.WeightEdits)
 	return g, nil
 }
 

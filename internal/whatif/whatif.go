@@ -100,7 +100,12 @@ type Baseline struct {
 	Control   map[Pair]bool
 	CloseLink map[Pair]bool
 
-	accownBySource map[pg.NodeID][]datalog.Fact
+	// Accown holds the final accumulated-ownership rows grouped by source
+	// node. A published Baseline is shared by concurrent readers (the server
+	// caches one per version), so all three maps must be treated as
+	// immutable: derive an updated Baseline by building fresh maps (see
+	// internal/ivm), never by mutating a published one.
+	Accown map[pg.NodeID][]datalog.Fact
 }
 
 // ControlSize reports the number of control pairs in the baseline.
@@ -109,12 +114,11 @@ func (b *Baseline) ControlSize() int { return len(b.Control) }
 // CloseLinkSize reports the number of (unordered) close-link pairs.
 func (b *Baseline) CloseLinkSize() int { return len(b.CloseLink) }
 
-// programText builds the control + close-link chase program. When scoped,
-// derivation of control candidates and accumulated ownership is restricted
-// to sources with an affected(X) fact; pair formation stays global so
-// baseline-seeded accown rows participate.
-func programText(threshold float64, scoped bool) string {
-	t := strconv.FormatFloat(threshold, 'g', -1, 64)
+// controlAccownText builds the control + accumulated-ownership rules (the
+// aggregate fragment of the chase). When scoped, derivation of control
+// candidates and accumulated ownership is restricted to sources with an
+// affected(X) fact.
+func controlAccownText(scoped bool) string {
 	guard := ""
 	if scoped {
 		guard = ", affected(X)"
@@ -126,12 +130,35 @@ func programText(threshold float64, scoped bool) string {
 	b.WriteString("ccand(X, Y), X != Y -> control(X, Y).\n")
 	fmt.Fprintf(&b, "own(X, Y, W)%s, X != Y, S = msum(W, <X, Y>) -> accown(X, Y, S).\n", guard)
 	fmt.Fprintf(&b, "own(X, Z, W1)%s, X != Z, accown(Z, Y, W2), X != Y, S = msum(W1 * W2, <Z, Y>) -> accown(X, Y, S).\n", guard)
+	return b.String()
+}
+
+// closeLinkText builds the close-link pair-formation rules over the accown
+// relation at a threshold.
+func closeLinkText(threshold float64) string {
+	t := strconv.FormatFloat(threshold, 'g', -1, 64)
+	var b strings.Builder
 	fmt.Fprintf(&b, "accown(X, Y, W), W >= %s, company(X, N1, B1, A1, S1), company(Y, N2, B2, A2, S2) -> clcand(X, Y).\n", t)
 	b.WriteString("clcand(X, Y) -> clcand(Y, X).\n")
 	fmt.Fprintf(&b, "accown(Z, X, W1), W1 >= %s, accown(Z, Y, W2), W2 >= %s, X != Y, company(X, N1, B1, A1, S1), company(Y, N2, B2, A2, S2) -> clcand(X, Y).\n", t, t)
 	b.WriteString("clcand(X, Y) -> closelink(X, Y).\n")
 	return b.String()
 }
+
+// programText builds the full control + close-link chase program. When
+// scoped, pair formation stays global so baseline-seeded accown rows
+// participate.
+func programText(threshold float64, scoped bool) string {
+	return controlAccownText(scoped) + closeLinkText(threshold)
+}
+
+// MaintenanceProgram is the scoped control + accumulated-ownership program
+// (without the close-link pair formation), the recompute-per-affected-cone
+// fragment of incremental view maintenance (internal/ivm). It is
+// rule-for-rule the aggregate fragment of Programs, so a maintainer that
+// seeds unaffected baseline rows and re-derives affected cones lands on
+// exactly the facts a full chase would.
+func MaintenanceProgram() string { return controlAccownText(true) }
 
 // withWhatIfDefaults prepends the package convergence default so explicit
 // caller options still win (later options overwrite earlier ones). The
@@ -178,14 +205,14 @@ func ComputeBaseline(ctx context.Context, v pg.View, threshold float64, engineOp
 		return nil, fmt.Errorf("whatif: baseline chase: %w", err)
 	}
 	bl := &Baseline{
-		Threshold:      threshold,
-		Control:        pairSet(e, "control", false),
-		CloseLink:      pairSet(e, "closelink", true),
-		accownBySource: map[pg.NodeID][]datalog.Fact{},
+		Threshold: threshold,
+		Control:   pairSet(e, "control", false),
+		CloseLink: pairSet(e, "closelink", true),
+		Accown:    map[pg.NodeID][]datalog.Fact{},
 	}
 	for _, f := range e.MaxByGroup("accown", 2, 0, 1) {
 		if src, ok := toID(f.Args[0]); ok {
-			bl.accownBySource[src] = append(bl.accownBySource[src], f)
+			bl.Accown[src] = append(bl.Accown[src], f)
 		}
 	}
 	return bl, nil
@@ -358,13 +385,24 @@ func Apply(o *pg.Overlay, ops []Op) (created []pg.NodeID, changed map[pg.NodeID]
 // relations for source x depend only on edges among nodes forward-reachable
 // from x.
 func affectedSources(base pg.View, o *pg.Overlay, changed map[pg.NodeID]bool) map[pg.NodeID]bool {
-	affected := make(map[pg.NodeID]bool, len(changed))
-	queue := make([]pg.NodeID, 0, len(changed))
-	for n := range changed {
+	return ReverseReachable(changed, base, o)
+}
+
+// ReverseReachable computes reverse shareholding reachability from a seed set
+// over the union of the given views: every node that can reach a seed by
+// following shareholding edges forward in at least one view. This is the
+// affected-source machinery shared by what-if scoping (seeds = owner-side
+// endpoints of mutated edges, over base + overlay) and incremental view
+// maintenance (seeds = the committed journal's changed set, over the
+// post-commit view alone — sound because any pre-only reverse step starts at
+// a mutated edge, whose owner side is already a seed).
+func ReverseReachable(seeds map[pg.NodeID]bool, views ...pg.View) map[pg.NodeID]bool {
+	affected := make(map[pg.NodeID]bool, len(seeds))
+	queue := make([]pg.NodeID, 0, len(seeds))
+	for n := range seeds {
 		affected[n] = true
 		queue = append(queue, n)
 	}
-	views := []pg.View{base, o}
 	for len(queue) > 0 {
 		n := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
@@ -433,7 +471,7 @@ func Evaluate(ctx context.Context, base pg.View, bl *Baseline, ops []Op, opt Opt
 	// per-contributor-maximum semantics make a final row an exact stand-in
 	// for the derivation sequence that produced it.
 	seeded := 0
-	for src, rows := range bl.accownBySource {
+	for src, rows := range bl.Accown {
 		if affected[src] {
 			continue
 		}

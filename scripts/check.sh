@@ -81,10 +81,32 @@ for pkg in pg store whatif; do
     }
 done
 
+echo "== coverage floor (internal/ivm) =="
+# Incremental view maintenance silently corrupting derived state is the worst
+# failure mode in the repo: reads keep succeeding with stale answers. Hold the
+# floor so the invalidation/retraction paths stay exercised (90.0% when
+# established).
+IVM_COVER_FLOOR="${IVM_COVER_FLOOR:-80.0}"
+go test -coverprofile=/tmp/ivm.cover ./internal/ivm >/dev/null
+icov="$(go tool cover -func=/tmp/ivm.cover | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')"
+echo "internal/ivm coverage: ${icov}% (floor ${IVM_COVER_FLOOR}%)"
+awk -v c="$icov" -v f="$IVM_COVER_FLOOR" 'BEGIN { exit (c + 0 >= f + 0) ? 0 : 1 }' || {
+    echo "coverage ${icov}% fell below the ${IVM_COVER_FLOOR}% floor" >&2
+    exit 1
+}
+
 echo "== differential what-if harness =="
 # 100+ randomized graphs: scoped overlay evaluation == unscoped == the
 # flatten-and-re-chase oracle, on control and closelink alike.
 go test -run '^TestDifferentialWhatIf$' -v ./internal/whatif | grep -E 'PASS|FAIL|ok '
+
+echo "== differential maintenance harness =="
+# 100+ randomized mutation streams: the mutation-driven differential chase
+# must equal the full re-chase after every commit, on control and closelink
+# alike; the concurrent case runs under -race because maintenance publishes
+# new baselines while snapshot readers walk the old ones.
+go test -run '^TestDifferentialMaintenance$' -v ./internal/ivm | grep -E 'cases|PASS|FAIL|ok '
+go test -race -run '^TestConcurrentReadsDuringApply$' -v ./internal/ivm | grep -E 'PASS|FAIL|ok '
 
 echo "== crash-recovery harness (kill -9 loop) =="
 # 20 consecutive SIGKILLs mid-write; every acknowledged fact must survive and
