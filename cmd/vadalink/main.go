@@ -9,6 +9,7 @@
 //	vadalink closelink -in graph.json [-t 0.2]
 //	vadalink family    -in graph.json [-k 1]
 //	vadalink reason    -in graph.json -task control|closelink|partner
+//	vadalink query     -in graph.json -goal "control(4, Y)" [-program rules.vada]
 //	vadalink whatif    -in graph.json -ops ops.json [-t 0.2]
 //	vadalink serve     -in graph.json [-addr :8080] [-timeout 30s]
 //	                   [-max-facts N] [-max-rounds N] [-metrics=true]
@@ -58,12 +59,16 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"vadalink"
+	"vadalink/internal/datalog"
 	"vadalink/internal/pg"
+	"vadalink/internal/vadalog"
 	"vadalink/internal/whatif"
 )
 
@@ -85,6 +90,8 @@ func main() {
 		cmdFamily(args)
 	case "reason":
 		cmdReason(args)
+	case "query":
+		cmdQuery(args)
 	case "whatif":
 		cmdWhatif(args)
 	case "explain":
@@ -101,7 +108,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: vadalink <stats|control|closelink|family|reason|whatif|explain|dot|ubo|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: vadalink <stats|control|closelink|family|reason|query|whatif|explain|dot|ubo|serve> [flags]
 run "vadalink <cmd> -h" for per-command flags`)
 	os.Exit(2)
 }
@@ -357,6 +364,70 @@ func cmdReason(args []string) {
 	}
 }
 
+// cmdQuery answers one goal atom demand-driven from the command line: the
+// constants in the goal drive a magic-sets rewrite, so "control(4, Y)"
+// derives only node 4's cone instead of chasing the whole graph. -program
+// supplies custom rules; without it the goal predicate selects the built-in
+// control or close-link program.
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	inputs := addInputFlags(fs)
+	goalSrc := fs.String("goal", "", `goal atom, e.g. "control(4, Y)"`)
+	progPath := fs.String("program", "", `rule file ("-" reads stdin; default: built-in program of the goal predicate)`)
+	_ = fs.Parse(args)
+	if *goalSrc == "" {
+		log.Fatal(`query needs -goal, e.g. -goal "control(4, Y)"`)
+	}
+	g := inputs.load()
+	goal, err := datalog.ParseGoal(*goalSrc)
+	if err != nil {
+		log.Fatalf("bad goal: %v", err)
+	}
+	progSrc := ""
+	if *progPath != "" {
+		var r io.Reader = os.Stdin
+		if *progPath != "-" {
+			f, err := os.Open(*progPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		b, err := io.ReadAll(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		progSrc = string(b)
+	} else {
+		var ok bool
+		if progSrc, ok = vadalog.ProgramForGoal(goal.Pred); !ok {
+			log.Fatalf("no built-in program defines %q; supply -program", goal.Pred)
+		}
+	}
+	res, err := vadalog.EvalGoal(context.Background(), g, progSrc, goal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.RunErr != nil {
+		log.Printf("warning: evaluation truncated: %v", res.RunErr)
+	}
+	for _, b := range res.Answers {
+		vars := make([]string, 0, len(b))
+		for v := range b {
+			vars = append(vars, string(v))
+		}
+		sort.Strings(vars)
+		parts := make([]string, 0, len(vars))
+		for _, v := range vars {
+			parts = append(parts, fmt.Sprintf("%s=%v", v, b[datalog.Variable(v)]))
+		}
+		fmt.Println(strings.Join(parts, " "))
+	}
+	fmt.Fprintf(os.Stderr, "%d answer(s), mode=%s, %d facts derived\n",
+		len(res.Answers), res.Mode, res.Engine.DerivedCount())
+}
+
 // cmdDot renders the graph (optionally after annotating control and
 // close-link edges) in Graphviz DOT format.
 func cmdDot(args []string) {
@@ -413,6 +484,7 @@ func cmdServe(args []string) {
 	maxRounds := fs.Int("max-rounds", 0, "chase budget: max evaluation rounds per request (0 = engine default)")
 	minAggDelta := fs.Float64("min-agg-delta", 0, "aggregate convergence step for every chase (0 = 1e-4 default, negative = exact fixpoint; exact is exponential on cyclic ownership)")
 	noIVM := fs.Bool("no-ivm", false, "disable incremental view maintenance; every read after a commit re-chases from scratch")
+	queryCache := fs.Int64("query-cache-bytes", 0, "point-query result cache budget in bytes (0 = 64 MiB default, negative = disable)")
 	metrics := fs.Bool("metrics", true, "collect per-endpoint metrics and serve GET /v1/metrics")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logFormat := fs.String("log-format", "text", "access-log format: text | json | off")
@@ -427,6 +499,7 @@ func cmdServe(args []string) {
 	cfg.Budget.MaxFacts = *maxFacts
 	cfg.MinAggDelta = *minAggDelta
 	cfg.DisableIVM = *noIVM
+	cfg.QueryCacheBytes = *queryCache
 	cfg.DisableMetrics = !*metrics
 	cfg.Pprof = *pprofOn
 	switch *logFormat {

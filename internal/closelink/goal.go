@@ -1,0 +1,83 @@
+package closelink
+
+import (
+	"context"
+	"sort"
+
+	"vadalink/internal/datalog"
+	"vadalink/internal/pg"
+	"vadalink/internal/vadalog"
+)
+
+// Goal-mode entry points: close links and accumulated ownership answered by
+// demand-driven (magic-sets) evaluation of the declarative close-link
+// program, so a point question ("who is x closely linked to?") derives only
+// x's ownership cone instead of every pair in the graph.
+//
+// Semantics note: the declarative accown is the paper's Definition 2.5
+// fixpoint (all walks, shared per-pair totals), while AccumulatedCtx above
+// enumerates simple paths with depth/product cutoffs — the two agree on
+// DAGs within cutoff reach and the fixpoint dominates on cyclic graphs. The
+// goal wrappers expose the declarative semantics, like /v1/explain always
+// has.
+
+var (
+	clVarX = datalog.Variable("X")
+	clVarY = datalog.Variable("Y")
+	clVarW = datalog.Variable("W")
+)
+
+// GoalLinksOf answers closelink(x, Y) at threshold t: the companies closely
+// linked to x, sorted. t <= 0 selects DefaultThreshold.
+func GoalLinksOf(ctx context.Context, g pg.View, x pg.NodeID, t float64, opts ...datalog.Option) ([]pg.NodeID, string, error) {
+	if t <= 0 {
+		t = DefaultThreshold
+	}
+	goal := datalog.Atom{Pred: "closelink", Terms: []datalog.Term{datalog.Int(int64(x)), clVarY}}
+	res, err := vadalog.EvalGoal(ctx, g, vadalog.CloseLinkProgramT(t), goal, opts...)
+	if err != nil {
+		return nil, "", err
+	}
+	var out []pg.NodeID
+	seen := map[pg.NodeID]bool{}
+	for _, b := range res.Answers {
+		if id, ok := b[clVarY].(int64); ok && !seen[pg.NodeID(id)] {
+			seen[pg.NodeID(id)] = true
+			out = append(out, pg.NodeID(id))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, res.Mode, res.RunErr
+}
+
+// GoalLinkPair answers the fully bound closelink(x, y) at threshold t.
+func GoalLinkPair(ctx context.Context, g pg.View, x, y pg.NodeID, t float64, opts ...datalog.Option) (bool, string, error) {
+	if t <= 0 {
+		t = DefaultThreshold
+	}
+	goal := datalog.Atom{Pred: "closelink", Terms: []datalog.Term{datalog.Int(int64(x)), datalog.Int(int64(y))}}
+	res, err := vadalog.EvalGoal(ctx, g, vadalog.CloseLinkProgramT(t), goal, opts...)
+	if err != nil {
+		return false, "", err
+	}
+	return len(res.Answers) > 0, res.Mode, res.RunErr
+}
+
+// GoalAccumulatedFrom answers accown(x, Y, W): x's accumulated ownership in
+// every company of its cone, per Definition 2.5 (final per-pair totals).
+func GoalAccumulatedFrom(ctx context.Context, g pg.View, x pg.NodeID, opts ...datalog.Option) (map[pg.NodeID]float64, string, error) {
+	goal := datalog.Atom{Pred: "accown", Terms: []datalog.Term{datalog.Int(int64(x)), clVarY, clVarW}}
+	res, err := vadalog.EvalGoal(ctx, g, vadalog.CloseLinkProgram, goal, opts...)
+	if err != nil {
+		return nil, "", err
+	}
+	out := map[pg.NodeID]float64{}
+	for _, b := range res.Answers {
+		id, okID := b[clVarY].(int64)
+		w, okW := b[clVarW].(float64)
+		if okID && okW {
+			out[pg.NodeID(id)] = w
+		}
+	}
+	return out, res.Mode, res.RunErr
+}

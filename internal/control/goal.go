@@ -1,0 +1,93 @@
+package control
+
+import (
+	"context"
+	"sort"
+
+	"vadalink/internal/datalog"
+	"vadalink/internal/pg"
+	"vadalink/internal/vadalog"
+)
+
+// Goal-mode entry points: the same control relation as the fixpoint solvers
+// above, answered by demand-driven (magic-sets) evaluation of the
+// declarative control program. The forward solver (Controls) is already
+// goal-directed — it expands one holder set — but the reverse question
+// ("who controls y?") had no better plan than running the fixpoint from
+// every candidate; the demand transformation propagates the binding through
+// the ownership recursion instead, touching only y's reverse cone.
+//
+// Note the declarative program reads the relational image (relstore), which
+// aggregates every shareholding edge by weight; the imperative solver
+// additionally discounts non-voting rights (bare ownership, pledge). The
+// two agree on graphs without such rights — the cross-check harness keeps
+// that honest.
+
+var controlVarY = datalog.Variable("Y")
+var controlVarX = datalog.Variable("X")
+
+// GoalControls answers control(x, Y): the companies x controls, sorted. The
+// mode reports whether demand transformation served the goal.
+func GoalControls(ctx context.Context, g pg.View, x pg.NodeID, opts ...datalog.Option) ([]pg.NodeID, string, error) {
+	goal := datalog.Atom{Pred: "control", Terms: []datalog.Term{datalog.Int(int64(x)), controlVarY}}
+	res, err := vadalog.EvalGoal(ctx, g, vadalog.ControlProgram, goal, opts...)
+	if err != nil {
+		return nil, "", err
+	}
+	return bindingIDs(res.Answers, controlVarY), res.Mode, res.RunErr
+}
+
+// GoalControllers answers control(X, y): every node (person or company)
+// controlling y, via reverse demand, sorted.
+func GoalControllers(ctx context.Context, g pg.View, y pg.NodeID, opts ...datalog.Option) ([]pg.NodeID, string, error) {
+	goal := datalog.Atom{Pred: "control", Terms: []datalog.Term{controlVarX, datalog.Int(int64(y))}}
+	res, err := vadalog.EvalGoal(ctx, g, vadalog.ControlProgram, goal, opts...)
+	if err != nil {
+		return nil, "", err
+	}
+	return bindingIDs(res.Answers, controlVarX), res.Mode, res.RunErr
+}
+
+// GoalControlsPair answers the fully bound goal control(x, y) as a boolean.
+func GoalControlsPair(ctx context.Context, g pg.View, x, y pg.NodeID, opts ...datalog.Option) (bool, string, error) {
+	goal := datalog.Atom{Pred: "control", Terms: []datalog.Term{datalog.Int(int64(x)), datalog.Int(int64(y))}}
+	res, err := vadalog.EvalGoal(ctx, g, vadalog.ControlProgram, goal, opts...)
+	if err != nil {
+		return false, "", err
+	}
+	return len(res.Answers) > 0, res.Mode, res.RunErr
+}
+
+// GoalUltimateControllers answers the UBO question demand-driven: the
+// persons controlling y, directly or through chains — GoalControllers
+// restricted to person nodes.
+func GoalUltimateControllers(ctx context.Context, g pg.View, y pg.NodeID, opts ...datalog.Option) ([]pg.NodeID, string, error) {
+	// A budget-truncation error still carries partial answers, mirroring the
+	// Ctx solvers above; filter whatever came back and pass the error along.
+	all, mode, err := GoalControllers(ctx, g, y, opts...)
+	out := all[:0]
+	for _, id := range all {
+		if n := g.Node(id); n != nil && n.Label == pg.LabelPerson {
+			out = append(out, id)
+		}
+	}
+	return out, mode, err
+}
+
+// bindingIDs projects one variable of each binding to a sorted node-ID set.
+func bindingIDs(bs []datalog.Binding, v datalog.Variable) []pg.NodeID {
+	seen := map[pg.NodeID]bool{}
+	var out []pg.NodeID
+	for _, b := range bs {
+		id, ok := b[v].(int64)
+		if !ok {
+			continue
+		}
+		if n := pg.NodeID(id); !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

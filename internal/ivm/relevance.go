@@ -1,0 +1,37 @@
+package ivm
+
+import "vadalink/internal/pg"
+
+// RelevantMutations reports whether a committed journal can move the derived
+// relations (control, accown, closeLink). It is the same classification
+// Apply performs before deciding to skip a commit, exported so the query
+// cache can share the invalidation decision: a journal this function rejects
+// is exactly one Apply counts as a SkippedCommit, so cached answers over the
+// derived relations stay valid across it.
+//
+// The classification errs conservative: malformed mutations (nil node/edge)
+// and unknown kinds report relevant, so a cache never outlives a journal the
+// maintainer would have failed on.
+func RelevantMutations(muts []pg.Mutation) bool {
+	for _, mut := range muts {
+		switch mut.Kind {
+		case pg.MutAddNode:
+			// A new company seeds iscompany (close-link candidates); a new
+			// person with no edges cannot own, control, or link anything.
+			if mut.Node == nil || mut.Node.Label == pg.LabelCompany {
+				return true
+			}
+		case pg.MutRemoveNode:
+			return true
+		case pg.MutAddEdge, pg.MutRemoveEdge, pg.MutSetEdgeWeight:
+			// Only shareholding edges feed the ownership aggregates; family
+			// and augmentation-materialized edges do not.
+			if mut.Edge == nil || mut.Edge.Label == pg.LabelShareholding {
+				return true
+			}
+		default:
+			return true
+		}
+	}
+	return false
+}

@@ -11,6 +11,7 @@ import (
 	"vadalink/internal/datalog"
 	"vadalink/internal/ivm"
 	"vadalink/internal/persist"
+	"vadalink/internal/qcache"
 	"vadalink/internal/replication"
 )
 
@@ -91,6 +92,10 @@ type Metrics struct {
 	// ReplicationLeader is the stream-serving side (connected followers,
 	// frames shipped) when this process is the replication leader.
 	ReplicationLeader *replication.LeaderStatus `json:"replicationLeader,omitempty"`
+	// Cache is the query-result cache behind the point endpoints (hits,
+	// misses, evictions, invalidations); absent when Config.QueryCacheBytes
+	// is negative.
+	Cache *qcache.Stats `json:"cache,omitempty"`
 }
 
 // serverMetrics is one Server's registry: a fixed route map built at Handler

@@ -1,0 +1,252 @@
+package reasonapi
+
+// The demand-driven query surface: POST /v1/query answers one goal atom
+// ("control(4, Y)") by magic-sets evaluation of the defining program, and
+// the point forms of the reasoning endpoints route through the same
+// machinery. Responses are cached in a byte-budgeted, seq-stamped result
+// cache (internal/qcache) keyed on the goal and the version the answer was
+// computed at; the IVM commit classifier decides which commits invalidate.
+// Every response answered here carries the sequence number of the version it
+// is exact for ("seq" in the body) and an X-Cache: hit|miss header.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+
+	"vadalink/internal/datalog"
+	"vadalink/internal/pg"
+	"vadalink/internal/qcache"
+	"vadalink/internal/vadalog"
+)
+
+// viewSeq pins the read view for one request together with the sequence
+// number the view answers for. In MVCC mode both come from the same pinned
+// version, so they cannot disagree; in follower mode the sequence is the
+// follower's applied position, read under the same lock as the graph.
+func (s *Server) viewSeq() (pg.View, uint64, func()) {
+	if s.vs != nil {
+		ver := s.vs.Current()
+		return ver.View(), ver.Seq(), func() {}
+	}
+	s.mu.RLock()
+	var seq uint64
+	if fl := s.cfg.Follower; fl != nil {
+		if n := fl.Seq(); n > 0 {
+			seq = uint64(n)
+		}
+	}
+	return s.g, seq, s.mu.RUnlock
+}
+
+// servePoint answers one point query through the result cache: on a hit the
+// marshaled payload is replayed as-is (its embedded "seq" names the version
+// it was computed at, which may trail the current one across irrelevant
+// commits); on a miss, build runs once — concurrent misses on the same key
+// share the computation — and the payload is stored unless the build was
+// truncated or a commit raced it.
+//
+// build returns the response body (which servePoint stamps with "seq") plus
+// the chase error, if any: a non-nil body with a non-nil error is a partial
+// (budget-truncated) answer, served with 200 but never cached; a nil body is
+// a hard failure, answered as a 500.
+func (s *Server) servePoint(w http.ResponseWriter, r *http.Request, seq uint64, key string, class qcache.Class, build func() (map[string]any, error)) {
+	compute := func() ([]byte, error) {
+		body, err := build()
+		if body == nil {
+			if err == nil {
+				err = errors.New("empty response")
+			}
+			return nil, err
+		}
+		body["seq"] = seq
+		payload, merr := json.Marshal(body)
+		if merr != nil {
+			return nil, merr
+		}
+		return payload, err
+	}
+	var (
+		payload []byte
+		hit     bool
+		err     error
+	)
+	if s.qc != nil {
+		payload, _, hit, err = s.qc.Do(key, class, seq, compute)
+	} else {
+		payload, err = compute()
+	}
+	if payload == nil {
+		writeErr(w, r, http.StatusInternalServerError, "internal", "query failed: %v", err)
+		return
+	}
+	cache := "miss"
+	if hit {
+		cache = "hit"
+	}
+	w.Header().Set("X-Cache", cache)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
+}
+
+// queryRequest is the body of POST /v1/query: a goal atom, optionally with
+// the program defining it (the built-in control / close-link programs answer
+// their own predicates when the program is omitted).
+type queryRequest struct {
+	// Goal is the atom to answer, e.g. "control(4, Y)" — constants demand
+	// only the relevant derivation cone; variables are answered positions.
+	Goal string `json:"goal"`
+	// Program is the defining rule text. Empty selects the built-in program
+	// of the goal predicate (control, ccand, accown, closelink, clcand,
+	// company, person, own).
+	Program string `json:"program"`
+	// MaxFacts tightens the server's fact budget for this request only.
+	MaxFacts int `json:"maxFacts"`
+}
+
+// handleQuery answers one goal atom demand-driven: POST /v1/query. The goal
+// is rewritten with magic sets when its bound arguments admit it ("mode":
+// "magic"); otherwise the full program is evaluated and the goal answered
+// against the result ("mode": "full") — same answers, more derivation.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes())
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "bad request body: %v", err)
+		return
+	}
+	if req.Goal == "" {
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "missing goal")
+		return
+	}
+	goal, err := datalog.ParseGoal(req.Goal)
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "bad goal: %v", err)
+		return
+	}
+	progSrc, class := req.Program, qcache.ClassAny
+	if progSrc == "" {
+		var ok bool
+		if progSrc, ok = vadalog.ProgramForGoal(goal.Pred); !ok {
+			writeErr(w, r, http.StatusBadRequest, "bad_request",
+				"no built-in program defines %q; supply one in \"program\"", goal.Pred)
+			return
+		}
+		class = qcache.ClassDerived
+	} else if _, perr := datalog.Parse(progSrc); perr != nil {
+		writeErr(w, r, http.StatusBadRequest, "bad_request", "parsing program: %v", perr)
+		return
+	}
+	opts := s.engineOptions()
+	b := s.cfg.Budget
+	if req.MaxFacts > 0 && (b.MaxFacts == 0 || req.MaxFacts < b.MaxFacts) {
+		b.MaxFacts = req.MaxFacts
+		opts = append(opts, datalog.WithBudget(b))
+	}
+
+	v, seq, release := s.viewSeq()
+	defer release()
+
+	key := queryKey(class, goal, progSrc, req.MaxFacts)
+	compute := func() ([]byte, error) {
+		res, err := vadalog.EvalGoal(r.Context(), v, progSrc, goal, opts...)
+		if err != nil {
+			return nil, err
+		}
+		if res.Engine != nil {
+			s.recordChase(res.Engine.Stats())
+		}
+		runErr := res.RunErr
+		var be *datalog.BudgetExceededError
+		if runErr != nil && !errors.As(runErr, &be) &&
+			!errors.Is(runErr, context.DeadlineExceeded) && !errors.Is(runErr, context.Canceled) {
+			return nil, runErr
+		}
+		resp := map[string]any{
+			"goal":    goal.String(),
+			"mode":    res.Mode,
+			"answers": answerRows(res.Answers),
+			"count":   len(res.Answers),
+			"seq":     seq,
+		}
+		for k, vv := range truncMeta(runErr) {
+			resp[k] = vv
+		}
+		payload, merr := json.Marshal(resp)
+		if merr != nil {
+			return nil, merr
+		}
+		return payload, runErr
+	}
+	var (
+		payload []byte
+		hit     bool
+	)
+	if s.qc != nil {
+		payload, _, hit, err = s.qc.Do(key, class, seq, compute)
+	} else {
+		payload, err = compute()
+	}
+	if payload == nil {
+		writeErr(w, r, http.StatusUnprocessableEntity, "unprocessable", "evaluating goal: %v", err)
+		return
+	}
+	cache := "miss"
+	if hit {
+		cache = "hit"
+	}
+	w.Header().Set("X-Cache", cache)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
+}
+
+// answerRows renders goal bindings as JSON objects keyed by variable name,
+// in a deterministic order so identical queries marshal identically.
+func answerRows(bs []datalog.Binding) []map[string]any {
+	rows := make([]map[string]any, 0, len(bs))
+	keys := make([]string, 0, len(bs))
+	for _, b := range bs {
+		row := make(map[string]any, len(b))
+		k := ""
+		vars := make([]string, 0, len(b))
+		for v := range b {
+			vars = append(vars, string(v))
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			row[v] = jsonValue(b[datalog.Variable(v)])
+			k += fmt.Sprintf("%s=%v;", v, b[datalog.Variable(v)])
+		}
+		rows = append(rows, row)
+		keys = append(keys, k)
+	}
+	sort.Sort(&rowSorter{keys: keys, rows: rows})
+	return rows
+}
+
+type rowSorter struct {
+	keys []string
+	rows []map[string]any
+}
+
+func (s *rowSorter) Len() int           { return len(s.keys) }
+func (s *rowSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *rowSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+}
+
+// queryKey builds the cache key of one /v1/query evaluation. The program
+// text is folded to a hash so an arbitrary caller program cannot blow the
+// key budget; the goal stays readable for debugging.
+func queryKey(class qcache.Class, goal datalog.Atom, progSrc string, maxFacts int) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(progSrc))
+	return fmt.Sprintf("query:%d:%s:%x:%d", class, goal.String(), h.Sum64(), maxFacts)
+}

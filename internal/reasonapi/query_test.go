@@ -1,0 +1,378 @@
+package reasonapi
+
+// Coverage of the demand-driven query surface: POST /v1/query (success,
+// malformed input, not-demandable fallback, budget truncation, custom
+// programs, follower mode), the seq + X-Cache stamps on the point endpoints,
+// the target form of /v1/control, the {"pairs": [...]} envelope, and the
+// end-to-end invalidation contract — irrelevant commits keep cached answers
+// alive at their original seq, relevant commits flush them.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vadalink/internal/pg"
+)
+
+// postQuery issues one POST /v1/query and returns the response + body map.
+func postQuery(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	return doReq(t, "POST", url+"/v1/query", body)
+}
+
+func TestQueryEndpointAnswersGoal(t *testing.T) {
+	srv, b := testServer(t)
+	goal := fmt.Sprintf(`{"goal": "control(%s, Y)"}`, itoa(b.ID("P2")))
+	resp, body := postQuery(t, srv.URL, goal)
+	if resp.StatusCode != 200 {
+		t.Fatalf("query = %d %v, want 200", resp.StatusCode, body)
+	}
+	if body["mode"] != "magic" {
+		t.Fatalf("mode = %v, want magic (bound goal must be demanded)", body["mode"])
+	}
+	if resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first query X-Cache = %q, want miss", resp.Header.Get("X-Cache"))
+	}
+	answers, _ := body["answers"].([]any)
+	got := map[float64]bool{}
+	for _, a := range answers {
+		row := a.(map[string]any)
+		got[row["Y"].(float64)] = true
+	}
+	// P2 controls C5, C6, C7 on Figure 2 (the declarative relation).
+	for _, c := range []string{"C5", "C6", "C7"} {
+		if !got[float64(b.ID(c))] {
+			t.Errorf("answers miss %s: %v", c, answers)
+		}
+	}
+	if n, _ := body["count"].(float64); int(n) != len(answers) {
+		t.Errorf("count = %v, answers = %d", body["count"], len(answers))
+	}
+	if _, ok := body["seq"]; !ok {
+		t.Error("response is not seq-stamped")
+	}
+
+	// The identical query replays from the cache at the same seq.
+	resp2, body2 := postQuery(t, srv.URL, goal)
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("repeat query X-Cache = %q, want hit", resp2.Header.Get("X-Cache"))
+	}
+	if body2["seq"] != body["seq"] {
+		t.Fatalf("cached seq = %v, want %v", body2["seq"], body["seq"])
+	}
+}
+
+func TestQueryEndpointMalformed(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"malformed json", `{"goal": `},
+		{"missing goal", `{}`},
+		{"bad goal syntax", `{"goal": "control("}`},
+		{"two atoms", `{"goal": "control(1, Y). control(2, Y)."}`},
+		{"unknown predicate", `{"goal": "martians(1, Y)"}`},
+		{"bad program", `{"goal": "p(1, Y)", "program": "p(X ->"}`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postQuery(t, srv.URL, tc.body)
+			if resp.StatusCode != 400 {
+				t.Fatalf("status = %d %v, want 400", resp.StatusCode, body)
+			}
+			checkEnvelope(t, body, "bad_request")
+		})
+	}
+}
+
+// An all-free goal is outside the demandable fragment: the endpoint must
+// fall back to full evaluation and still answer, reporting mode "full".
+func TestQueryEndpointFullFallback(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, body := postQuery(t, srv.URL, `{"goal": "control(X, Y)"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("query = %d %v, want 200", resp.StatusCode, body)
+	}
+	if body["mode"] != "full" {
+		t.Fatalf("mode = %v, want full (all-free goal is not demandable)", body["mode"])
+	}
+	if n, _ := body["count"].(float64); n == 0 {
+		t.Fatal("full fallback returned no control pairs on Figure 2")
+	}
+}
+
+// A caller-supplied program evaluates under demand too, and a truncated
+// evaluation reports the partial answer without caching it.
+func TestQueryEndpointCustomProgramAndTruncation(t *testing.T) {
+	g, _ := pg.Figure2()
+	s := NewServerWith(g, Config{})
+	s.cfg.Budget.MaxFacts = 0 // server default: unlimited
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	prog := `own(X, Y, W) -> reach(X, Y). reach(X, Z), own(Z, Y, W) -> reach(X, Y).`
+	req := fmt.Sprintf(`{"goal": "reach(0, Y)", "program": %q}`, prog)
+	resp, body := postQuery(t, srv.URL, req)
+	if resp.StatusCode != 200 || body["mode"] != "magic" {
+		t.Fatalf("custom program query = %d %v, want 200/magic", resp.StatusCode, body)
+	}
+
+	// Tighten the budget per-request: the truncated partial must report
+	// truncated: true and must NOT be stored (a retry recomputes).
+	trunc := fmt.Sprintf(`{"goal": "reach(0, Y)", "program": %q, "maxFacts": 1}`, prog)
+	resp2, body2 := postQuery(t, srv.URL, trunc)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("truncated query = %d %v, want 200", resp2.StatusCode, body2)
+	}
+	if body2["truncated"] != true {
+		t.Fatalf("truncated query body = %v, want truncated: true", body2)
+	}
+	resp3, _ := postQuery(t, srv.URL, trunc)
+	if resp3.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("truncated answer was cached (X-Cache = %q)", resp3.Header.Get("X-Cache"))
+	}
+}
+
+// The point endpoints carry the seq + X-Cache stamps and replay repeated
+// queries from the cache; /v1/control grows the fully bound target form.
+func TestPointEndpointsCacheAndStamps(t *testing.T) {
+	srv, b := testServer(t)
+	p2, c7 := itoa(b.ID("P2")), itoa(b.ID("C7"))
+	paths := []string{
+		"/v1/control?node=" + p2,
+		"/v1/control?node=" + p2 + "&target=" + c7,
+		"/v1/ubo?node=" + c7,
+		"/v1/accumulated?from=" + p2 + "&to=" + c7,
+		"/v1/explain?from=" + p2 + "&to=" + c7,
+		"/v1/control/pairs",
+		"/v1/closelinks",
+	}
+	for _, path := range paths {
+		resp1, body1 := doReq(t, "GET", srv.URL+path, "")
+		resp2, body2 := doReq(t, "GET", srv.URL+path, "")
+		if resp1.StatusCode != 200 || resp2.StatusCode != 200 {
+			t.Fatalf("%s: status %d/%d, want 200", path, resp1.StatusCode, resp2.StatusCode)
+		}
+		if c := resp1.Header.Get("X-Cache"); c != "miss" {
+			t.Errorf("%s first X-Cache = %q, want miss", path, c)
+		}
+		if c := resp2.Header.Get("X-Cache"); c != "hit" {
+			t.Errorf("%s second X-Cache = %q, want hit", path, c)
+		}
+		if _, ok := body1["seq"]; !ok {
+			t.Errorf("%s response not seq-stamped: %v", path, body1)
+		}
+		if fmt.Sprint(body1["seq"]) != fmt.Sprint(body2["seq"]) {
+			t.Errorf("%s cached seq drifted: %v vs %v", path, body1["seq"], body2["seq"])
+		}
+	}
+
+	// The target form answers the pair as a boolean.
+	_, body := doReq(t, "GET", srv.URL+"/v1/control?node="+p2+"&target="+c7, "")
+	if body["controls"] != true {
+		t.Fatalf("control target form = %v, want controls: true", body)
+	}
+	_, body = doReq(t, "GET", srv.URL+"/v1/control?node="+c7+"&target="+p2, "")
+	if body["controls"] != false {
+		t.Fatalf("reversed target form = %v, want controls: false", body)
+	}
+	resp, _ := doReq(t, "GET", srv.URL+"/v1/control?node="+p2+"&target=99999", "")
+	if resp.StatusCode != 400 {
+		t.Fatalf("unknown target = %d, want 400", resp.StatusCode)
+	}
+}
+
+// /v1/control/pairs answers the documented envelope: {"pairs": [{"from",
+// "to"}, ...]} — not the bare capitalized array earlier releases leaked.
+func TestControlPairsEnvelope(t *testing.T) {
+	srv, b := testServer(t)
+	resp, body := doReq(t, "GET", srv.URL+"/v1/control/pairs", "")
+	if resp.StatusCode != 200 {
+		t.Fatalf("pairs = %d, want 200", resp.StatusCode)
+	}
+	pairs, ok := body["pairs"].([]any)
+	if !ok || len(pairs) == 0 {
+		t.Fatalf(`body %v lacks a non-empty "pairs" array`, body)
+	}
+	found := false
+	for _, p := range pairs {
+		row, ok := p.(map[string]any)
+		if !ok {
+			t.Fatalf("pair %v is not an object", p)
+		}
+		if _, hasFrom := row["from"]; !hasFrom {
+			t.Fatalf(`pair %v lacks lowercase "from"`, row)
+		}
+		if _, hasTo := row["to"]; !hasTo {
+			t.Fatalf(`pair %v lacks lowercase "to"`, row)
+		}
+		if row["from"] == float64(b.ID("P2")) && row["to"] == float64(b.ID("C7")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pairs %v miss P2→C7", pairs)
+	}
+}
+
+// The invalidation contract end to end on the MVCC chain: a commit the IVM
+// classifier deems irrelevant (a person node) keeps cached point answers
+// alive at their original seq; a relevant commit (a shareholding edge)
+// flushes them and the next read recomputes at the new seq.
+func TestQueryCacheInvalidationFollowsCommitClassifier(t *testing.T) {
+	g, b := pg.Figure2()
+	s := NewServerWith(g, Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	goal := fmt.Sprintf(`{"goal": "control(%s, Y)"}`, itoa(b.ID("P2")))
+	_, body0 := postQuery(t, srv.URL, goal)
+	seq0 := body0["seq"]
+
+	// Irrelevant commit: a bare person node cannot move the control relation.
+	txn := s.vs.Begin()
+	txn.Overlay().AddNode(pg.LabelPerson, pg.Properties{"name": "bystander"})
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	resp, body1 := postQuery(t, srv.URL, goal)
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("after irrelevant commit X-Cache = %q, want hit (derived entries survive)", resp.Header.Get("X-Cache"))
+	}
+	if body1["seq"] != seq0 {
+		t.Fatalf("surviving entry seq = %v, want original %v", body1["seq"], seq0)
+	}
+
+	// Relevant commit: a shareholding edge can move every derived relation.
+	txn = s.vs.Begin()
+	if _, err := txn.Overlay().AddShare(b.ID("P2"), b.ID("C4"), 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	resp, body2 := postQuery(t, srv.URL, goal)
+	if resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("after relevant commit X-Cache = %q, want miss", resp.Header.Get("X-Cache"))
+	}
+	if body2["seq"] == seq0 {
+		t.Fatalf("recomputed answer still stamped seq %v", seq0)
+	}
+	// And the recomputed answer reflects the new edge: P2 now controls C4.
+	found := false
+	for _, a := range body2["answers"].([]any) {
+		if a.(map[string]any)["Y"] == float64(b.ID("C4")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post-commit answers %v miss the new subsidiary C4", body2["answers"])
+	}
+}
+
+// QueryCacheBytes < 0 disables the cache: every query recomputes and no
+// cache section appears in /v1/metrics.
+func TestQueryCacheDisabled(t *testing.T) {
+	g, b := pg.Figure2()
+	srv := httptest.NewServer(NewServerWith(g, Config{QueryCacheBytes: -1}).Handler())
+	defer srv.Close()
+	goal := fmt.Sprintf(`{"goal": "control(%s, Y)"}`, itoa(b.ID("P2")))
+	for i := 0; i < 2; i++ {
+		resp, _ := postQuery(t, srv.URL, goal)
+		if c := resp.Header.Get("X-Cache"); c != "miss" {
+			t.Fatalf("query %d with cache disabled: X-Cache = %q, want miss", i, c)
+		}
+	}
+	var m Metrics
+	if code := getJSON(t, srv.URL+"/v1/metrics", &m); code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	if m.Cache != nil {
+		t.Fatalf("metrics report a cache section with the cache disabled: %+v", m.Cache)
+	}
+}
+
+// The cache counters surface in /v1/metrics.
+func TestMetricsReportCacheCounters(t *testing.T) {
+	srv, b := testServer(t)
+	goal := fmt.Sprintf(`{"goal": "control(%s, Y)"}`, itoa(b.ID("P2")))
+	postQuery(t, srv.URL, goal)
+	postQuery(t, srv.URL, goal)
+	var m Metrics
+	if code := getJSON(t, srv.URL+"/v1/metrics", &m); code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	if m.Cache == nil {
+		t.Fatal("metrics lack the cache section")
+	}
+	if m.Cache.Hits < 1 || m.Cache.Misses < 1 {
+		t.Fatalf("cache counters = %+v, want >= 1 hit and 1 miss", m.Cache)
+	}
+	if m.Cache.Entries < 1 || m.Cache.MaxBytes <= 0 {
+		t.Fatalf("cache sizing = %+v, want entries and a positive budget", m.Cache)
+	}
+}
+
+// Follower mode: /v1/query serves demand-driven reads from the replica, and
+// the replication stream drives invalidation through the same classifier —
+// an irrelevant frame keeps the entry, a relevant one drops it.
+func TestQueryOnFollower(t *testing.T) {
+	st, fl, srv := replicatedPair(t, Config{MaxStaleness: time.Minute})
+	g := st.Graph()
+	a := g.AddNode(pg.LabelCompany, pg.Properties{"name": "A"})
+	c := g.AddNode(pg.LabelCompany, pg.Properties{"name": "B"})
+	g.MustAddEdgeWeighted(a, c, 0.8)
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	waitFollowerSeq(t, fl, st.Seq())
+
+	goal := fmt.Sprintf(`{"goal": "control(%d, Y)"}`, a)
+	resp, body := postQuery(t, srv.URL, goal)
+	if resp.StatusCode != 200 {
+		t.Fatalf("follower query = %d %v, want 200", resp.StatusCode, body)
+	}
+	if body["mode"] != "magic" {
+		t.Fatalf("follower query mode = %v, want magic", body["mode"])
+	}
+	answers, _ := body["answers"].([]any)
+	if len(answers) != 1 || answers[0].(map[string]any)["Y"] != float64(c) {
+		t.Fatalf("follower answers = %v, want the one controlled company %d", answers, c)
+	}
+
+	// Irrelevant frame (person node): the cached entry survives.
+	g.AddNode(pg.LabelPerson, pg.Properties{"name": "bystander"})
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	waitFollowerSeq(t, fl, st.Seq())
+	resp, _ = postQuery(t, srv.URL, goal)
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("after irrelevant frame X-Cache = %q, want hit", resp.Header.Get("X-Cache"))
+	}
+
+	// Relevant frame (shareholding edge): the entry drops, the answer grows.
+	d := g.AddNode(pg.LabelCompany, pg.Properties{"name": "D"})
+	g.MustAddEdgeWeighted(c, d, 0.9)
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	waitFollowerSeq(t, fl, st.Seq())
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body = postQuery(t, srv.URL, goal)
+		if resp.Header.Get("X-Cache") == "miss" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("relevant frame never invalidated the entry (X-Cache stays %q)", resp.Header.Get("X-Cache"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	answers, _ = body["answers"].([]any)
+	if len(answers) != 2 {
+		t.Fatalf("post-frame answers = %v, want A's grown cone {B, D}", answers)
+	}
+}

@@ -11,6 +11,7 @@
 //	GET  /v1/accumulated?from=ID&to=ID  — accumulated ownership Φ(from, to)
 //	POST /v1/augment                    — run KG augmentation (family links)
 //	POST /v1/reason                     — evaluate a Vadalog program (budgeted)
+//	POST /v1/query                      — answer one goal atom demand-driven
 //	POST /v1/whatif                     — counterfactual scenario over an overlay
 //	GET  /v1/graph                      — the property graph as JSON
 //	GET  /v1/explain?from=ID&to=ID      — derivation tree of a control decision
@@ -21,6 +22,14 @@
 // The server holds one graph, injected at construction; mutation happens
 // only through /v1/augment, which returns 503 + Retry-After when a mutation
 // is already in flight instead of queueing.
+//
+// The point endpoints (/v1/query, /v1/control, /v1/ubo, /v1/accumulated,
+// /v1/explain, /v1/closelinks, /v1/control/pairs) answer through a
+// byte-budgeted query-result cache: responses are stamped with the sequence
+// number of the version they are exact for ("seq" in the body) plus an
+// X-Cache: hit|miss header, and the IVM commit classifier decides which
+// commits invalidate which entries — write traffic that cannot move the
+// derived relations keeps hot point answers alive.
 //
 // Reads are MVCC snapshots: the graph is published through a store.Versioned
 // chain of immutable versions, read handlers pin the current version without
@@ -66,6 +75,7 @@ import (
 	"vadalink/internal/ivm"
 	"vadalink/internal/persist"
 	"vadalink/internal/pg"
+	"vadalink/internal/qcache"
 	"vadalink/internal/relstore"
 	"vadalink/internal/replication"
 	"vadalink/internal/store"
@@ -108,6 +118,12 @@ type Config struct {
 	// baseline is then recomputed from scratch when the version changes.
 	// Maintenance is on by default in both leader and follower modes.
 	DisableIVM bool
+
+	// QueryCacheBytes bounds the query-result cache behind the point
+	// endpoints (/v1/query and the goal forms of the reasoning reads).
+	// 0 means qcache.DefaultMaxBytes (64 MiB); negative disables the cache
+	// entirely — every point query then recomputes.
+	QueryCacheBytes int64
 
 	// RetryAfter is advertised in the Retry-After header of 503 responses.
 	// 0 means 5 seconds.
@@ -226,6 +242,12 @@ type Server struct {
 	// of re-chasing the base graph.
 	blCache atomic.Pointer[baselineEntry]
 
+	// qc caches marshaled point-query responses keyed by goal and stamped
+	// with the sequence they were computed at; invalidated from the commit
+	// stream via the IVM relevance classifier. nil when
+	// Config.QueryCacheBytes is negative.
+	qc *qcache.Cache
+
 	// ivmM maintains the derived ownership baseline incrementally across
 	// commits (leader: fed by the store's commit hook; follower: fed lazily
 	// from the queued replication journal). nil when Config.DisableIVM.
@@ -272,6 +294,9 @@ func NewServerWith(g *pg.Graph, cfg Config) *Server {
 	if !cfg.DisableIVM {
 		s.ivmM = ivm.New(whatif.DefaultThreshold, s.engineOptions()...)
 	}
+	if cfg.QueryCacheBytes >= 0 {
+		s.qc = qcache.New(cfg.QueryCacheBytes)
+	}
 	if fl := cfg.Follower; fl != nil {
 		if s.g == nil {
 			s.g = fl.Graph()
@@ -282,6 +307,10 @@ func NewServerWith(g *pg.Graph, cfg Config) *Server {
 		fl.SetLock(&s.mu)
 		fl.OnSwap(func(ng *pg.Graph) {
 			s.g = ng
+			if s.qc != nil {
+				// No journal describes a snapshot bootstrap: drop everything.
+				s.qc.Flush()
+			}
 			if s.ivmM != nil {
 				// A bootstrap replaced the graph wholesale; the journal the
 				// queue holds describes the old object.
@@ -291,6 +320,14 @@ func NewServerWith(g *pg.Graph, cfg Config) *Server {
 				s.ivmM.Invalidate()
 			}
 		})
+		if s.qc != nil {
+			// Invalidate cached point answers from the replication stream,
+			// classified exactly like leader-side commits: a frame that cannot
+			// move the derived relations keeps derived entries alive.
+			fl.OnMutation(func(mut pg.Mutation) {
+				s.qc.OnCommit(uint64(fl.Seq()), ivm.RelevantMutations([]pg.Mutation{mut}))
+			})
+		}
 		if s.ivmM != nil {
 			// Enqueue only: the observer runs under the write lock, where a
 			// maintenance chase would stall frame application. The next read
@@ -324,6 +361,14 @@ func NewServerWith(g *pg.Graph, cfg Config) *Server {
 		// the maintainer and the next what-if falls back to a full chase.
 		s.vs.SetCommitHook(func(next *store.Version, journal []pg.Mutation) {
 			_ = s.ivmM.Apply(context.Background(), next.View(), next.Seq()-1, next.Seq(), journal)
+		})
+	}
+	if s.qc != nil {
+		// The cache invalidation composes with the maintenance hook above:
+		// every commit is classified once by the shared IVM relevance rules,
+		// and irrelevant commits leave the derived-class entries standing.
+		s.vs.AddCommitHook(func(next *store.Version, journal []pg.Mutation) {
+			s.qc.OnCommit(next.Seq(), ivm.RelevantMutations(journal))
 		})
 	}
 	return s
@@ -379,6 +424,7 @@ func (s *Server) Handler() http.Handler {
 		{"POST /v1/augment", s.handleAugment},
 		{"POST /v1/whatif", s.handleWhatif},
 		{"POST /v1/reason", s.handleReason},
+		{"POST /v1/query", s.handleQuery},
 		{"GET /v1/graph", s.handleGraph},
 		{"GET /v1/explain", s.handleExplain},
 		{"GET /v1/ubo", s.handleUBO},
@@ -647,6 +693,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		st := ld.Status()
 		m.ReplicationLeader = &st
 	}
+	if s.qc != nil {
+		st := s.qc.Stats()
+		m.Cache = &st
+	}
 	writeJSON(w, http.StatusOK, m)
 }
 
@@ -674,28 +724,35 @@ func truncMeta(err error) map[string]any {
 
 // handleUBO lists the ultimate beneficial owners of a company:
 // GET /v1/ubo?node=ID.
+// handleUBO lists the ultimate beneficial owners of a company:
+// GET /v1/ubo?node=ID. The reverse question ("who controls this company?")
+// is where demand transformation pays most: the goal control(X, node) binds
+// the second argument, so only node's reverse ownership cone is derived
+// instead of running the control fixpoint from every person in the graph.
 func (s *Server) handleUBO(w http.ResponseWriter, r *http.Request) {
-	v, release := s.view()
+	v, seq, release := s.viewSeq()
 	defer release()
 	node, err := parseNode(v, r, "node")
 	if err != nil {
 		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	type item struct {
-		ID   pg.NodeID `json:"id"`
-		Name any       `json:"name,omitempty"`
-	}
-	ubos, runErr := control.UltimateControllersCtx(r.Context(), v, node)
-	out := make([]item, 0, len(ubos))
-	for _, id := range ubos {
-		out = append(out, item{ID: id, Name: v.Node(id).Props["name"]})
-	}
-	resp := map[string]any{"node": node, "ultimateControllers": out}
-	for k, v := range truncMeta(runErr) {
-		resp[k] = v
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.servePoint(w, r, seq, fmt.Sprintf("ubo:%d", node), qcache.ClassDerived, func() (map[string]any, error) {
+		type item struct {
+			ID   pg.NodeID `json:"id"`
+			Name any       `json:"name,omitempty"`
+		}
+		ubos, mode, runErr := control.GoalUltimateControllers(r.Context(), v, node, s.engineOptions()...)
+		out := make([]item, 0, len(ubos))
+		for _, id := range ubos {
+			out = append(out, item{ID: id, Name: v.Node(id).Props["name"]})
+		}
+		resp := map[string]any{"node": node, "ultimateControllers": out, "mode": mode}
+		for k, vv := range truncMeta(runErr) {
+			resp[k] = vv
+		}
+		return resp, runErr
+	})
 }
 
 // handleNeighborhood returns the ego network of a node as graph JSON:
@@ -725,7 +782,7 @@ func (s *Server) handleNeighborhood(w http.ResponseWriter, r *http.Request) {
 // handleExplain returns the derivation tree of a control decision — the §5
 // explainability property over HTTP: GET /v1/explain?from=ID&to=ID.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	v, release := s.view()
+	v, seq, release := s.viewSeq()
 	defer release()
 	from, err := parseNode(v, r, "from")
 	if err != nil {
@@ -737,30 +794,59 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	reasoner := vadalog.NewReasoner(v, vadalog.TaskControl)
-	reasoner.EngineOptions = append(s.engineOptions(), datalog.WithProvenance())
-	runErr := reasoner.RunContext(r.Context())
-	if e := reasoner.Engine(); e != nil {
+	s.servePoint(w, r, seq, fmt.Sprintf("explain:%d:%d", from, to), qcache.ClassDerived, func() (map[string]any, error) {
+		// The explained pair is a fully bound goal: demand derives only the
+		// cone connecting from to to, and the provenance of that cone is all
+		// the tree needs. StripDemandMarkers removes the rewrite's magic and
+		// bridge bookkeeping so the "why" reads exactly like the full chase's.
+		goal := datalog.Atom{Pred: "control", Terms: []datalog.Term{
+			datalog.Int(int64(from)), datalog.Int(int64(to)),
+		}}
+		prog, perr := datalog.Parse(vadalog.ControlProgram)
+		if perr != nil {
+			return nil, perr
+		}
+		opts := append(s.engineOptions(), datalog.WithProvenance())
+		mode := vadalog.GoalModeMagic
+		e, eerr := datalog.NewGoalEngine(prog, goal, opts...)
+		if eerr != nil {
+			var nd *datalog.ErrNotDemandable
+			if !errors.As(eerr, &nd) {
+				return nil, eerr
+			}
+			mode = vadalog.GoalModeFull
+			if e, eerr = datalog.NewEngine(prog, opts...); eerr != nil {
+				return nil, eerr
+			}
+		}
+		e.AssertAll(relstore.CompanyGraphFacts(v))
+		runErr := e.RunContext(r.Context())
 		s.recordChase(e.Stats())
-	}
-	var be *datalog.BudgetExceededError
-	if runErr != nil && !errors.As(runErr, &be) {
-		writeErr(w, r, http.StatusInternalServerError, "internal", "reasoning failed: %v", runErr)
-		return
-	}
-	// On a budget trip the partial derivations remain readable: the tree is
-	// reported if the pair was already derived, marked truncated otherwise.
-	tree := reasoner.ExplainControl(from, to)
-	resp := map[string]any{
-		"from":     from,
-		"to":       to,
-		"controls": tree != nil,
-		"why":      tree,
-	}
-	for k, v := range truncMeta(runErr) {
-		resp[k] = v
-	}
-	writeJSON(w, http.StatusOK, resp)
+		var be *datalog.BudgetExceededError
+		if runErr != nil && !errors.As(runErr, &be) &&
+			!errors.Is(runErr, context.DeadlineExceeded) && !errors.Is(runErr, context.Canceled) {
+			return nil, runErr
+		}
+		// On a budget trip the partial derivations remain readable: the tree
+		// is reported if the pair was already derived, marked truncated
+		// otherwise.
+		var tree []string
+		f := datalog.Fact{Pred: "control", Args: []any{int64(from), int64(to)}}
+		if e.Has(f) {
+			tree = datalog.StripDemandMarkers(e.ExplainTree(f, 0))
+		}
+		resp := map[string]any{
+			"from":     from,
+			"to":       to,
+			"controls": tree != nil,
+			"why":      tree,
+			"mode":     mode,
+		}
+		for k, vv := range truncMeta(runErr) {
+			resp[k] = vv
+		}
+		return resp, runErr
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -807,47 +893,76 @@ func parseNode(v pg.View, r *http.Request, param string) (pg.NodeID, error) {
 	return pg.NodeID(id), nil
 }
 
+// handleControl answers the control question in two demand-driven forms:
+// GET /v1/control?node=ID lists the companies the node controls (forward
+// demand), GET /v1/control?node=ID&target=ID answers the single pair as a
+// boolean (fully bound demand — only the derivation cone connecting the two
+// is explored). Both route through the goal engine and the result cache.
 func (s *Server) handleControl(w http.ResponseWriter, r *http.Request) {
-	v, release := s.view()
+	v, seq, release := s.viewSeq()
 	defer release()
 	node, err := parseNode(v, r, "node")
 	if err != nil {
 		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	controlled, runErr := control.ControlsCtx(r.Context(), v, node)
-	type item struct {
-		ID   pg.NodeID `json:"id"`
-		Name any       `json:"name,omitempty"`
-	}
-	out := make([]item, 0, len(controlled))
-	for _, id := range controlled {
-		out = append(out, item{ID: id, Name: v.Node(id).Props["name"]})
-	}
-	resp := map[string]any{"node": node, "controls": out}
-	for k, v := range truncMeta(runErr) {
-		resp[k] = v
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleControlPairs(w http.ResponseWriter, r *http.Request) {
-	v, release := s.view()
-	defer release()
-	pairs, runErr := control.AllPairsCtx(r.Context(), v)
-	if runErr == nil {
-		writeJSON(w, http.StatusOK, pairs)
+	if r.URL.Query().Get("target") != "" {
+		target, err := parseNode(v, r, "target")
+		if err != nil {
+			writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
+			return
+		}
+		key := fmt.Sprintf("control:%d:%d", node, target)
+		s.servePoint(w, r, seq, key, qcache.ClassDerived, func() (map[string]any, error) {
+			ok, mode, runErr := control.GoalControlsPair(r.Context(), v, node, target, s.engineOptions()...)
+			resp := map[string]any{"node": node, "target": target, "controls": ok, "mode": mode}
+			for k, vv := range truncMeta(runErr) {
+				resp[k] = vv
+			}
+			return resp, runErr
+		})
 		return
 	}
-	resp := map[string]any{"pairs": pairs}
-	for k, v := range truncMeta(runErr) {
-		resp[k] = v
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.servePoint(w, r, seq, fmt.Sprintf("control:%d", node), qcache.ClassDerived, func() (map[string]any, error) {
+		controlled, mode, runErr := control.GoalControls(r.Context(), v, node, s.engineOptions()...)
+		type item struct {
+			ID   pg.NodeID `json:"id"`
+			Name any       `json:"name,omitempty"`
+		}
+		out := make([]item, 0, len(controlled))
+		for _, id := range controlled {
+			out = append(out, item{ID: id, Name: v.Node(id).Props["name"]})
+		}
+		resp := map[string]any{"node": node, "controls": out, "mode": mode}
+		for k, vv := range truncMeta(runErr) {
+			resp[k] = vv
+		}
+		return resp, runErr
+	})
+}
+
+// handleControlPairs enumerates every control pair: GET /v1/control/pairs.
+// The response is the {"pairs": [{"from", "to"}, ...]} envelope — earlier
+// releases leaked a bare capitalized array on the success path; see API.md.
+func (s *Server) handleControlPairs(w http.ResponseWriter, r *http.Request) {
+	v, seq, release := s.viewSeq()
+	defer release()
+	s.servePoint(w, r, seq, "control/pairs", qcache.ClassDerived, func() (map[string]any, error) {
+		pairs, runErr := control.AllPairsCtx(r.Context(), v)
+		out := make([]map[string]pg.NodeID, 0, len(pairs))
+		for _, p := range pairs {
+			out = append(out, map[string]pg.NodeID{"from": p.From, "to": p.To})
+		}
+		resp := map[string]any{"pairs": out}
+		for k, vv := range truncMeta(runErr) {
+			resp[k] = vv
+		}
+		return resp, runErr
+	})
 }
 
 func (s *Server) handleCloseLinks(w http.ResponseWriter, r *http.Request) {
-	v, release := s.view()
+	v, seq, release := s.viewSeq()
 	defer release()
 	t := closelink.DefaultThreshold
 	if raw := r.URL.Query().Get("t"); raw != "" {
@@ -858,30 +973,36 @@ func (s *Server) handleCloseLinks(w http.ResponseWriter, r *http.Request) {
 		}
 		t = v
 	}
-	links, runErr := closelink.CloseLinksCtx(r.Context(), v, t, closelink.Options{})
-	type item struct {
-		A      pg.NodeID `json:"a"`
-		B      pg.NodeID `json:"b"`
-		Reason string    `json:"reason"`
-		Via    pg.NodeID `json:"via"`
-	}
-	out := make([]item, 0, len(links))
-	for _, l := range links {
-		reason := "direct"
-		if l.Reason == closelink.ReasonCommonOwner {
-			reason = "common-owner"
+	s.servePoint(w, r, seq, fmt.Sprintf("closelinks:%g", t), qcache.ClassDerived, func() (map[string]any, error) {
+		links, runErr := closelink.CloseLinksCtx(r.Context(), v, t, closelink.Options{})
+		type item struct {
+			A      pg.NodeID `json:"a"`
+			B      pg.NodeID `json:"b"`
+			Reason string    `json:"reason"`
+			Via    pg.NodeID `json:"via"`
 		}
-		out = append(out, item{A: l.Pair.A, B: l.Pair.B, Reason: reason, Via: l.Via})
-	}
-	resp := map[string]any{"threshold": t, "links": out}
-	for k, v := range truncMeta(runErr) {
-		resp[k] = v
-	}
-	writeJSON(w, http.StatusOK, resp)
+		out := make([]item, 0, len(links))
+		for _, l := range links {
+			reason := "direct"
+			if l.Reason == closelink.ReasonCommonOwner {
+				reason = "common-owner"
+			}
+			out = append(out, item{A: l.Pair.A, B: l.Pair.B, Reason: reason, Via: l.Via})
+		}
+		resp := map[string]any{"threshold": t, "links": out}
+		for k, vv := range truncMeta(runErr) {
+			resp[k] = vv
+		}
+		return resp, runErr
+	})
 }
 
+// handleAccumulated answers Φ(from, to): GET /v1/accumulated?from=&to=.
+// The compute stays the simple-path enumeration (its cutoff semantics on
+// cyclic graphs are part of the endpoint's contract); the response rides the
+// result cache and carries the seq and X-Cache stamps like every point read.
 func (s *Server) handleAccumulated(w http.ResponseWriter, r *http.Request) {
-	v, release := s.view()
+	v, seq, release := s.viewSeq()
 	defer release()
 	from, err := parseNode(v, r, "from")
 	if err != nil {
@@ -893,12 +1014,14 @@ func (s *Server) handleAccumulated(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	phi, runErr := closelink.AccumulatedCtx(r.Context(), v, from, to, closelink.Options{})
-	resp := map[string]any{"from": from, "to": to, "phi": phi}
-	for k, v := range truncMeta(runErr) {
-		resp[k] = v
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.servePoint(w, r, seq, fmt.Sprintf("accumulated:%d:%d", from, to), qcache.ClassDerived, func() (map[string]any, error) {
+		phi, runErr := closelink.AccumulatedCtx(r.Context(), v, from, to, closelink.Options{})
+		resp := map[string]any{"from": from, "to": to, "phi": phi}
+		for k, vv := range truncMeta(runErr) {
+			resp[k] = vv
+		}
+		return resp, runErr
+	})
 }
 
 // augmentRequest configures a POST /v1/augment run.

@@ -118,6 +118,25 @@ func (vs *Versioned) SetCommitHook(fn func(next *Version, journal []pg.Mutation)
 	vs.onCommit = fn
 }
 
+// AddCommitHook chains fn after any previously installed commit observers,
+// under the same contract as SetCommitHook: hooks run synchronously inside
+// Commit, in installation order, after the version is published. Use it when
+// several subsystems (view maintenance, cache invalidation) need to observe
+// the same commit stream without clobbering each other's hook.
+func (vs *Versioned) AddCommitHook(fn func(next *Version, journal []pg.Mutation)) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	prev := vs.onCommit
+	if prev == nil {
+		vs.onCommit = fn
+		return
+	}
+	vs.onCommit = func(next *Version, journal []pg.Mutation) {
+		prev(next, journal)
+		fn(next, journal)
+	}
+}
+
 // Txn is one writer transaction: an overlay over the version that was
 // current at Begin. It is not safe for concurrent use; the overlay is
 // frozen the moment Commit publishes it.

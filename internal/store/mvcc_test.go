@@ -165,3 +165,77 @@ func TestVersionedHookFiresOnCommitOnly(t *testing.T) {
 		t.Fatalf("hook observed %v, want exactly [MutAddNode]", fired)
 	}
 }
+
+func TestVersionedCommitHooksCompose(t *testing.T) {
+	vs := NewVersioned(seedGraph())
+
+	commit := func() *Version {
+		txn := vs.Begin()
+		txn.Overlay().AddNode(pg.LabelCompany, nil)
+		next, err := txn.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return next
+	}
+
+	// AddCommitHook on an empty slot behaves exactly like SetCommitHook.
+	var order []string
+	vs.AddCommitHook(func(next *Version, journal []pg.Mutation) {
+		if len(journal) != 1 || journal[0].Kind != pg.MutAddNode {
+			t.Errorf("hook a observed journal %v, want one MutAddNode", journal)
+		}
+		order = append(order, "a")
+	})
+	next := commit()
+	if len(order) != 1 || order[0] != "a" {
+		t.Fatalf("after first commit hooks ran %v, want [a]", order)
+	}
+	if next.Seq() != vs.Current().Seq() {
+		t.Fatalf("hook saw seq %d, current is %d", next.Seq(), vs.Current().Seq())
+	}
+
+	// A second AddCommitHook chains after the first, in installation order.
+	vs.AddCommitHook(func(next *Version, journal []pg.Mutation) {
+		order = append(order, "b")
+	})
+	order = nil
+	commit()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("chained hooks ran %v, want [a b]", order)
+	}
+
+	// SetCommitHook replaces the whole chain; nil removes it.
+	vs.SetCommitHook(func(next *Version, journal []pg.Mutation) {
+		order = append(order, "c")
+	})
+	order = nil
+	commit()
+	if len(order) != 1 || order[0] != "c" {
+		t.Fatalf("after SetCommitHook hooks ran %v, want [c]", order)
+	}
+	vs.SetCommitHook(nil)
+	order = nil
+	commit()
+	if len(order) != 0 {
+		t.Fatalf("hooks ran %v after removal, want none", order)
+	}
+}
+
+func TestVersionedTxnBaseAndAbort(t *testing.T) {
+	vs := NewVersioned(seedGraph())
+	base := vs.Current()
+
+	txn := vs.Begin()
+	if txn.Base() != base {
+		t.Fatalf("Base() = seq %d, want the version current at Begin (seq %d)", txn.Base().Seq(), base.Seq())
+	}
+	txn.Overlay().AddNode(pg.LabelCompany, nil)
+	txn.Abort()
+	if got := vs.Current(); got != base {
+		t.Fatalf("Abort published seq %d, want store unchanged at seq %d", got.Seq(), base.Seq())
+	}
+	if _, err := txn.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Commit after Abort = %v, want ErrTxnDone", err)
+	}
+}

@@ -18,6 +18,6 @@ BENCH_OUT="${BENCH_OUT:-.}"
 COUNT="${COUNT:-1}"
 
 go test -run '^$' \
-    -bench 'BenchmarkChase|BenchmarkQuery|BenchmarkAugment|BenchmarkFollowerCatchup|BenchmarkWhatIf|BenchmarkSnapshotReaders|BenchmarkIncrementalUpdate' \
+    -bench 'BenchmarkChase|BenchmarkQuery|BenchmarkAugment|BenchmarkFollowerCatchup|BenchmarkWhatIf|BenchmarkSnapshotReaders|BenchmarkIncrementalUpdate|BenchmarkPointQuery' \
     -benchtime "$BENCHTIME" -count "$COUNT" -benchmem -timeout 0 . \
   | go run scripts/benchjson.go "$BENCH_OUT"

@@ -95,6 +95,20 @@ awk -v c="$icov" -v f="$IVM_COVER_FLOOR" 'BEGIN { exit (c + 0 >= f + 0) ? 0 : 1 
     exit 1
 }
 
+echo "== coverage floor (internal/qcache) =="
+# The query-result cache sits in front of every point endpoint; a bug here
+# serves stale answers with a fresh-looking seq. Hold the floor so the
+# invalidation, eviction, and single-flight paths stay exercised (91.4% when
+# established).
+QCACHE_COVER_FLOOR="${QCACHE_COVER_FLOOR:-80.0}"
+go test -coverprofile=/tmp/qcache.cover ./internal/qcache >/dev/null
+qcov="$(go tool cover -func=/tmp/qcache.cover | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')"
+echo "internal/qcache coverage: ${qcov}% (floor ${QCACHE_COVER_FLOOR}%)"
+awk -v c="$qcov" -v f="$QCACHE_COVER_FLOOR" 'BEGIN { exit (c + 0 >= f + 0) ? 0 : 1 }' || {
+    echo "coverage ${qcov}% fell below the ${QCACHE_COVER_FLOOR}% floor" >&2
+    exit 1
+}
+
 echo "== differential what-if harness =="
 # 100+ randomized graphs: scoped overlay evaluation == unscoped == the
 # flatten-and-re-chase oracle, on control and closelink alike.
