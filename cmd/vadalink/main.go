@@ -18,6 +18,8 @@
 //	                   [-data-dir DIR] [-fsync 2ms]
 //	                   [-replicate :7070] [-follow HOST:7070]
 //	                   [-leader-api URL] [-max-staleness 5s]
+//	                   [-replica-self HOST:7070] [-peers H1:7070,H2:7070]
+//	                   [-api-advertise URL] [-lease 3s]
 //
 // serve applies a per-request wall-clock deadline and an optional chase
 // budget; truncated answers are marked "truncated" in the JSON. SIGINT and
@@ -46,6 +48,13 @@
 // past -max-staleness), and writes answer 421 with the -leader-api address.
 // GET /v1/healthz is liveness; GET /v1/readyz is readiness (drain state,
 // sticky WAL errors, replication staleness).
+//
+// -replica-self + -peers form a self-healing replica group instead: the
+// members elect a leader among themselves (lease-based, epoch-fenced) and
+// fail over automatically when it dies. Writes are accepted only on the
+// current leader and acknowledged only after a majority holds them durably;
+// non-leaders answer 421 with the live leader's -api-advertise address.
+// Role, epoch and lease health are visible on /v1/readyz and /v1/metrics.
 package main
 
 import (
@@ -494,6 +503,10 @@ func cmdServe(args []string) {
 	follow := fs.String("follow", "", "follower mode: tail the leader's replication stream at this address (requires -data-dir; serves read-only)")
 	leaderAPI := fs.String("leader-api", "", "leader's API base URL, advertised to clients whose writes hit this follower")
 	maxStaleness := fs.Duration("max-staleness", 0, "follower mode: reads staler than this answer 503 (0 = 5s default, negative = serve regardless)")
+	replicaSelf := fs.String("replica-self", "", "replica-group mode: this member's advertised replication address; leadership fails over automatically (requires -data-dir and -peers)")
+	peers := fs.String("peers", "", "replica-group mode: comma-separated replication addresses of the group (own address may be included)")
+	apiAdvertise := fs.String("api-advertise", "", "replica-group mode: this member's API base URL, handed to clients redirected to it while it leads")
+	lease := fs.Duration("lease", 0, "replica-group mode: leadership lease; bounds failure detection and write unavailability during failover (0 = 3s default)")
 	_ = fs.Parse(args)
 	cfg := vadalink.APIConfig{Timeout: *timeout, MaxRounds: *maxRounds}
 	cfg.Budget.MaxFacts = *maxFacts
@@ -518,6 +531,17 @@ func cmdServe(args []string) {
 	if *replicate != "" && *dataDir == "" {
 		log.Fatal("-replicate requires -data-dir (the leader ships its WAL)")
 	}
+	if *replicaSelf != "" {
+		if *dataDir == "" {
+			log.Fatal("-replica-self requires -data-dir (every group member keeps a durable copy)")
+		}
+		if *peers == "" {
+			log.Fatal("-replica-self requires -peers (the rest of the group roster)")
+		}
+		if *follow != "" || *replicate != "" {
+			log.Fatal("-replica-self is a mode of its own; drop -follow/-replicate (the group elects its leader)")
+		}
+	}
 
 	// SIGINT/SIGTERM drain in-flight requests instead of dropping them; the
 	// same context stops the replication goroutines.
@@ -528,7 +552,60 @@ func cmdServe(args []string) {
 	var g *vadalink.Graph
 	var ps *vadalink.DurableStore
 	var fl *vadalink.Follower
-	if *follow != "" {
+	var node *vadalink.ReplicaNode
+	if *replicaSelf != "" {
+		// Replica-group mode: this member and its -peers elect a leader among
+		// themselves and fail over automatically. The graph is whatever the
+		// group replicates, so -in never seeds it here — seed one member's
+		// -data-dir with a plain `serve -data-dir -in` run first, or start
+		// empty and write through the elected leader's API.
+		if *in != "" {
+			log.Printf("note: -in is ignored in replica-group mode (the group replicates the leader's state)")
+		}
+		ln, err := net.Listen("tcp", *replicaSelf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var roster []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				roster = append(roster, p)
+			}
+		}
+		node, err = vadalink.OpenReplicaNode(*dataDir, vadalink.ReplicaNodeOptions{
+			Self:      *replicaSelf,
+			API:       *apiAdvertise,
+			Peers:     roster,
+			Lease:     *lease,
+			SyncEvery: *fsync,
+			Logger:    cfg.Logger,
+			OnRoleChange: func(role string, epoch uint64) {
+				log.Printf("replica group: now %s (epoch %d)", role, epoch)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Node = node
+		cfg.LeaderAPI = *leaderAPI
+		cfg.MaxStaleness = *maxStaleness
+		ps = node.Store()
+		g = ps.Graph()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := node.Serve(ctx, ln); err != nil {
+				log.Printf("replica group listener: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node.Run(ctx)
+		}()
+		log.Printf("replica group member %s (peers %s, lease %s, recovered to seq %d, epoch %d)",
+			*replicaSelf, strings.Join(roster, " "), *lease, ps.Seq(), node.Epoch())
+	} else if *follow != "" {
 		// Follower mode: the graph arrives over the replication stream, so
 		// -in never seeds it. The store recovers whatever an earlier run
 		// replicated and the follower resumes from that position.
@@ -599,9 +676,9 @@ func cmdServe(args []string) {
 
 	log.Printf("serving reasoning API on %s (%d nodes, %d edges)", *addr, g.NumNodes(), g.NumEdges())
 	var handler = vadalink.APIHandlerWith(g, cfg)
-	if fl != nil {
-		// Let the server adopt the follower's graph and track it across
-		// snapshot bootstraps.
+	if fl != nil || node != nil {
+		// Let the server adopt the follower's (or the replica node's tailing
+		// half's) graph and track it across snapshot bootstraps.
 		handler = vadalink.APIHandlerWith(nil, cfg)
 	}
 	if err := vadalink.ServeAPI(ctx, *addr, handler); err != nil {

@@ -70,3 +70,30 @@ func (p Policy) Delay(attempt int) time.Duration {
 	}
 	return d - off
 }
+
+// Retrier is the stateful wrapper around a Policy that retry loops share:
+// Next returns the delay for the current failure and advances the ladder;
+// Reset (called after a success) starts the ladder over, so one long outage
+// does not poison the delay of the next brief one. Not safe for concurrent
+// use — each loop owns its own Retrier.
+type Retrier struct {
+	Policy  Policy
+	attempt int
+}
+
+// Next returns the delay to sleep after the latest failure and advances to
+// the next rung. The first call after construction or Reset returns
+// Policy.Delay(0).
+func (r *Retrier) Next() time.Duration {
+	d := r.Policy.Delay(r.attempt)
+	if r.attempt < 63 { // the ladder is capped far earlier; avoid overflow
+		r.attempt++
+	}
+	return d
+}
+
+// Attempt returns how many times Next has been called since the last Reset.
+func (r *Retrier) Attempt() int { return r.attempt }
+
+// Reset starts the ladder over after a success.
+func (r *Retrier) Reset() { r.attempt = 0 }

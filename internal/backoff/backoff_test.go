@@ -78,3 +78,85 @@ func TestLargeAttemptNoOverflow(t *testing.T) {
 		t.Errorf("Delay(500) = %v, want %v", d, time.Minute)
 	}
 }
+
+// Property: for every jitter fraction, base/max combination and attempt
+// count, the delay stays inside [ceil*(1-jitter), ceil] where ceil is the
+// capped deterministic ladder value. This is the contract the replication
+// reconnect tests rely on (their assertion is [ceil/2, ceil] at Jitter 0.5).
+func TestJitterLadderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		base := time.Duration(1+rng.Intn(1000)) * time.Millisecond
+		max := base * time.Duration(1+rng.Intn(64))
+		jitter := rng.Float64()
+		p := Policy{Base: base, Max: max, Jitter: jitter, Rand: rng}
+		for attempt := 0; attempt < 20; attempt++ {
+			ceil := base
+			for i := 0; i < attempt && ceil < max; i++ {
+				ceil *= 2
+			}
+			if ceil > max {
+				ceil = max
+			}
+			// The floor tolerates the window's integer truncation: the
+			// implementation draws from [0, floor(ceil*jitter)].
+			floor := ceil - time.Duration(float64(ceil)*jitter)
+			d := p.Delay(attempt)
+			if d < floor || d > ceil {
+				t.Fatalf("trial %d: Delay(%d) = %v outside [%v, %v] (base %v max %v jitter %v)",
+					trial, attempt, d, floor, ceil, base, max, jitter)
+			}
+		}
+	}
+}
+
+// A Retrier climbs the ladder failure by failure and Reset starts it over —
+// the after-success contract the reconnect loops depend on.
+func TestRetrierResetAfterSuccess(t *testing.T) {
+	r := Retrier{Policy: Policy{Base: time.Millisecond, Max: 8 * time.Millisecond}}
+	want := []time.Duration{
+		1 * time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 8 * time.Millisecond,
+	}
+	for i, w := range want {
+		if r.Attempt() != i {
+			t.Fatalf("Attempt = %d before call %d", r.Attempt(), i)
+		}
+		if d := r.Next(); d != w {
+			t.Fatalf("Next() #%d = %v, want %v", i, d, w)
+		}
+	}
+	r.Reset()
+	if r.Attempt() != 0 {
+		t.Fatalf("Attempt after Reset = %d, want 0", r.Attempt())
+	}
+	if d := r.Next(); d != time.Millisecond {
+		t.Fatalf("Next after Reset = %v, want %v (ladder must restart)", d, time.Millisecond)
+	}
+}
+
+// Retrier with jitter stays within the per-attempt bounds across a
+// fail/succeed/fail schedule — the bounds restart with the ladder.
+func TestRetrierJitterBoundsAcrossReset(t *testing.T) {
+	r := Retrier{Policy: Policy{
+		Base: time.Millisecond, Max: 16 * time.Millisecond, Jitter: 0.5,
+		Rand: rand.New(rand.NewSource(99)),
+	}}
+	check := func(attempt int) {
+		ceil := time.Millisecond << attempt
+		if ceil > 16*time.Millisecond {
+			ceil = 16 * time.Millisecond
+		}
+		d := r.Next()
+		if d < ceil/2 || d > ceil {
+			t.Fatalf("attempt %d: %v outside [%v, %v]", attempt, d, ceil/2, ceil)
+		}
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		check(attempt)
+	}
+	r.Reset()
+	for attempt := 0; attempt < 8; attempt++ {
+		check(attempt)
+	}
+}

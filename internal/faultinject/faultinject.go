@@ -75,6 +75,22 @@ const (
 	// (internal/replication). Error hooks simulate an unreachable leader to
 	// exercise the reconnect backoff.
 	SiteReplDial = "replication.dial"
+	// SiteReplHeartbeat fires before the leader sends an idle-stream
+	// heartbeat (internal/replication). An error hook suppresses the
+	// heartbeat — the wire stays up but carries no liveness signal — so
+	// followers' lease deadlines expire under a live but mute leader.
+	SiteReplHeartbeat = "replication.heartbeat"
+	// SiteReplLease fires on every lease check of a replica-group leader
+	// (internal/replication). An error hook forces the check to report the
+	// lease lost, making the leader step down as if its followers had gone
+	// silent.
+	SiteReplLease = "replication.lease"
+	// SiteReplPromote fires between a candidate deciding to promote and it
+	// durably fencing the new epoch (internal/replication). Plain hooks here
+	// stretch the promotion window so races between concurrent candidates —
+	// and between a promotion and a returning old leader — get a chance to
+	// happen in tests.
+	SiteReplPromote = "replication.promote"
 )
 
 // Fn is an injected behavior. It may sleep, panic, or do nothing.

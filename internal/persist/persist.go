@@ -111,8 +111,25 @@ type Store struct {
 	seq  atomic.Int64
 	base int64
 
+	// epochs is the replication-epoch history, oldest first: each mark says
+	// "epoch E opened at sequence number S". Durable via OpEpoch WAL records
+	// and the snapshot header; recovered by Open the same stateless way as
+	// the position. epoch mirrors the newest mark's number atomically so
+	// fencing checks never take the store lock.
+	epochs []EpochMark
+	epoch  atomic.Uint64
+
 	snapshots int64
 	capErr    error // first record-capture failure (sticky, surfaced by Sync)
+}
+
+// EpochMark records the opening of one replication epoch: a leader that
+// fenced itself into Epoch did so when its log held exactly StartSeq
+// records. The history of marks is what lets a store decide whether a
+// rejoining peer's tail was fenced off — see DivergedSince.
+type EpochMark struct {
+	Epoch    uint64 `json:"epoch"`
+	StartSeq int64  `json:"startSeq"`
 }
 
 // SeqOfGraph computes the replication sequence number of a graph: the total
@@ -150,12 +167,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	// disk rot) are skipped, falling back generation by generation.
 	var g *pg.Graph
 	for i := len(snaps) - 1; i >= 0; i-- {
-		loaded, err := readSnapshot(snapPath(dir, snaps[i]))
+		loaded, marks, err := readSnapshot(snapPath(dir, snaps[i]))
 		if err != nil {
 			s.rec.SnapshotsSkipped++
 			continue
 		}
 		g = loaded
+		s.epochs = marks
 		s.rec.SnapshotGen = snaps[i]
 		break
 	}
@@ -176,13 +194,24 @@ func Open(dir string, opts Options) (*Store, error) {
 		if wg > maxGen {
 			maxGen = wg
 		}
-		n, torn, err := replayWAL(walPath(dir, wg), func(r Record) error { return apply(g, r) })
+		// Epoch marks are intercepted before graph replay: they are
+		// sequence-neutral, so only true mutations count toward the base
+		// arithmetic below.
+		applied := 0
+		_, torn, err := replayWAL(walPath(dir, wg), func(r Record) error {
+			if r.Op == OpEpoch {
+				s.noteEpoch(EpochMark{Epoch: uint64(r.ID), StartSeq: r.From})
+				return nil
+			}
+			applied++
+			return apply(g, r)
+		})
 		if err != nil {
 			return nil, err
 		}
-		perGen[wg] = n
+		perGen[wg] = applied
 		s.rec.WALFiles++
-		s.rec.RecordsReplayed += n
+		s.rec.RecordsReplayed += applied
 		if torn {
 			s.rec.TornTails++
 		}
@@ -192,6 +221,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	s.gen = maxGen
 	s.seq.Store(SeqOfGraph(g))
 	s.base = s.seq.Load() - int64(perGen[maxGen])
+	if n := len(s.epochs); n > 0 {
+		s.epoch.Store(s.epochs[n-1].Epoch)
+	}
 	w, err := openWAL(walPath(dir, s.gen), opts.SyncEvery)
 	if err != nil {
 		return nil, err
@@ -286,7 +318,7 @@ func (s *Store) rotateLocked() (int64, error) {
 	if err := s.wal.Sync(); err != nil {
 		return 0, err
 	}
-	_, n, err := writeSnapshot(s.dir, s.gen+1, s.g)
+	_, n, err := writeSnapshot(s.dir, s.gen+1, s.g, s.epochs)
 	if err != nil {
 		return 0, err
 	}
@@ -320,6 +352,20 @@ func (s *Store) rotateLocked() (int64, error) {
 func (s *Store) ReplaceGraph(g *pg.Graph) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.replaceGraphLocked(g, s.epochs)
+}
+
+// ReplaceGraphMarks is ReplaceGraph for a bootstrap that also adopts the
+// leader's epoch history: the shipped snapshot carries the marks, and a
+// replica that adopts the state must adopt the history that produced it or
+// its own divergence answers would lie.
+func (s *Store) ReplaceGraphMarks(g *pg.Graph, marks []EpochMark) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replaceGraphLocked(g, marks)
+}
+
+func (s *Store) replaceGraphLocked(g *pg.Graph, marks []EpochMark) error {
 	if s.capErr != nil {
 		return s.capErr
 	}
@@ -327,8 +373,111 @@ func (s *Store) ReplaceGraph(g *pg.Graph) error {
 	s.g = g
 	g.SetMutationHook(s.capture)
 	s.seq.Store(SeqOfGraph(g))
+	s.epochs = append([]EpochMark(nil), marks...)
+	if n := len(s.epochs); n > 0 {
+		s.epoch.Store(s.epochs[n-1].Epoch)
+	} else {
+		s.epoch.Store(0)
+	}
 	_, err := s.rotateLocked()
 	return err
+}
+
+// Epoch returns the store's current replication epoch (0 before any leader
+// ever fenced). Lock-free: fencing checks run on every shipped frame.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// EpochMarks returns a copy of the epoch history, oldest first.
+func (s *Store) EpochMarks() []EpochMark {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]EpochMark(nil), s.epochs...)
+}
+
+// RecordEpoch durably opens a new epoch: the mark is appended to the WAL as
+// an OpEpoch record, fsynced, and added to the in-memory history. A
+// non-advancing epoch is refused — epochs are fencing tokens and only ever
+// move forward. This is the promotion barrier: a candidate that returns from
+// RecordEpoch holds its fence on disk and cannot un-promote by crashing.
+func (s *Store) RecordEpoch(m EpochMark) error {
+	s.mu.Lock()
+	if s.capErr != nil {
+		err := s.capErr
+		s.mu.Unlock()
+		return err
+	}
+	if cur := s.epoch.Load(); m.Epoch <= cur {
+		s.mu.Unlock()
+		return fmt.Errorf("persist: epoch %d does not advance current epoch %d", m.Epoch, cur)
+	}
+	// A mark can only describe records appended after it: clamp StartSeq up
+	// to the current sequence number. Without this, a member granting a
+	// fence whose start point lies below its own seq (legal when the
+	// candidate's newest fact carries a strictly newer epoch) would
+	// retroactively attribute its pre-existing — possibly divergent — tail
+	// to the new epoch, inflating LastEpoch and hiding the divergence from
+	// DivergedSince, so the reset bootstrap that should truncate the tail
+	// never fires.
+	if seq := s.seq.Load(); m.StartSeq < seq {
+		m.StartSeq = seq
+	}
+	if err := s.wal.Append(Record{Op: OpEpoch, ID: int64(m.Epoch), From: m.StartSeq}); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.noteEpoch(m)
+	s.epoch.Store(m.Epoch)
+	s.mu.Unlock()
+	return s.Sync()
+}
+
+// noteEpoch appends a mark to the history if it advances it (recovery may
+// replay marks already present in the snapshot header). Caller holds s.mu
+// or is single-threaded (Open).
+func (s *Store) noteEpoch(m EpochMark) {
+	if n := len(s.epochs); n > 0 && m.Epoch <= s.epochs[n-1].Epoch {
+		return
+	}
+	s.epochs = append(s.epochs, m)
+}
+
+// LastEpoch returns the epoch under which the newest mutation was appended:
+// the highest mark whose StartSeq precedes the current sequence number. A
+// fence mark opened at the current sequence number doesn't count — no
+// mutation has happened under it yet. This, paired with Seq, is the store's
+// history identity: two stores agree on every fact iff their (LastEpoch,
+// Seq) pairs are comparable prefixes, which is what elections and fence
+// grants compare. Zero means the store predates all epochs (or is empty).
+func (s *Store) LastEpoch() uint64 {
+	seq := s.Seq()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var last uint64
+	for _, m := range s.epochs {
+		if m.StartSeq < seq && m.Epoch > last {
+			last = m.Epoch
+		}
+	}
+	return last
+}
+
+// DivergedSince reports whether a peer whose newest fact was written under
+// lastEpoch, at sequence number seq, holds records this store's history
+// fenced off: true iff some later epoch opened at a sequence number below
+// the peer's. Such a peer logged records past a fence point under a deposed
+// leader — its tail is not a prefix of this history and must be discarded
+// via snapshot bootstrap. Pass the peer's LastEpoch, not its durable epoch:
+// a granted fence advances the durable epoch without validating the facts
+// beneath it, so only the fact-bearing epoch identifies the history.
+func (s *Store) DivergedSince(lastEpoch uint64, seq int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.epochs {
+		if m.Epoch > lastEpoch && m.StartSeq < seq {
+			return true
+		}
+	}
+	return false
 }
 
 // Seq returns the store's replication sequence number: the count of mutation

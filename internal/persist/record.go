@@ -29,6 +29,11 @@ const (
 	OpRemoveEdge
 	OpSetEdgeWeight
 	OpRemoveNode
+	// OpEpoch is a replication-epoch mark, not a graph mutation: ID carries
+	// the epoch number, From the sequence number the epoch opened at. It is
+	// sequence-neutral (SeqOfGraph stays a pure function of graph state), so
+	// recovery intercepts it before graph replay instead of applying it.
+	OpEpoch
 )
 
 // Record is one logged mutation. IDs are explicit — replay asserts that the
@@ -68,6 +73,9 @@ func appendRecord(buf []byte, r Record) ([]byte, error) {
 		return buf, nil // no label or props logged for removals
 	case OpSetEdgeWeight:
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.W))
+		return buf, nil
+	case OpEpoch:
+		buf = binary.AppendVarint(buf, r.From)
 		return buf, nil
 	default:
 		return nil, fmt.Errorf("persist: unknown op %d", r.Op)
@@ -155,6 +163,14 @@ func decodeRecord(b []byte) (Record, error) {
 			return r, errTruncatedRecord
 		}
 		r.W = math.Float64frombits(v)
+		if len(d.b) != d.off {
+			return r, fmt.Errorf("persist: %d trailing bytes after record", len(d.b)-d.off)
+		}
+		return r, nil
+	case OpEpoch:
+		if r.From, ok = d.varint(); !ok {
+			return r, errTruncatedRecord
+		}
 		if len(d.b) != d.off {
 			return r, fmt.Errorf("persist: %d trailing bytes after record", len(d.b)-d.off)
 		}
@@ -328,6 +344,11 @@ func apply(g *pg.Graph, r Record) error {
 		if err := g.SetEdgeWeight(pg.EdgeID(r.ID), r.W); err != nil {
 			return fmt.Errorf("persist: replaying weight edit of edge %d: %w", r.ID, err)
 		}
+	case OpEpoch:
+		// Epoch marks are metadata, not mutations: recovery and the
+		// replication follower both intercept them before graph replay.
+		// Reaching here means an interception was skipped.
+		return fmt.Errorf("persist: epoch record reached graph replay (epoch %d)", r.ID)
 	case OpRemoveNode:
 		// Every incident-edge removal was logged as its own OpRemoveEdge
 		// ahead of this record, so the node must be edge-free here. A node

@@ -194,7 +194,7 @@ func TestDecodeSnapshotBytes(t *testing.T) {
 	a := g.AddNode(pg.LabelCompany, pg.Properties{"name": "A"})
 	b := g.AddNode(pg.LabelCompany, pg.Properties{"name": "B"})
 	g.MustAddEdgeWeighted(a, b, 0.9)
-	path, _, err := writeSnapshot(dir, 3, g)
+	path, _, err := writeSnapshot(dir, 3, g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

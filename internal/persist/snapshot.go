@@ -2,7 +2,12 @@
 // binary format (which preserves IDs and counters) in an envelope that makes
 // corruption detectable:
 //
-//	[8-byte magic "VKGSNAP1"][store payload][u64le payload length][u32le CRC32C(payload)]
+//	[8-byte magic "VKGSNAP2"][epoch header][store payload][u64le payload length][u32le CRC32C(payload)]
+//
+// where the epoch header is [u32le count][count × (u64le epoch, u64le
+// startSeq)] — the replication-epoch history, inside the checksummed
+// payload so a corrupted mark is caught like any other corruption.
+// VKGSNAP1 files (no epoch header) still load, as epoch history ∅.
 //
 // Publication is crash-atomic: the body is written to a temp file in the
 // same directory, fsynced, renamed over the final name, and the directory
@@ -25,14 +30,27 @@ import (
 	"vadalink/internal/store"
 )
 
-const snapMagic = "VKGSNAP1"
+const (
+	snapMagicV1 = "VKGSNAP1"
+	snapMagic   = "VKGSNAP2"
+)
 
 // snapTrailerLen = u64 payload length + u32 CRC32C.
 const snapTrailerLen = 12
 
-// writeSnapshot publishes the graph as the snapshot for generation gen.
-func writeSnapshot(dir string, gen uint64, g *pg.Graph) (path string, bytesWritten int64, err error) {
+// writeSnapshot publishes the graph (and the epoch history) as the snapshot
+// for generation gen.
+func writeSnapshot(dir string, gen uint64, g *pg.Graph, marks []EpochMark) (path string, bytesWritten int64, err error) {
 	var body bytes.Buffer
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(marks)))
+	body.Write(hdr[:])
+	for _, m := range marks {
+		var rec [16]byte
+		binary.LittleEndian.PutUint64(rec[0:8], m.Epoch)
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(m.StartSeq))
+		body.Write(rec[:])
+	}
 	if err := store.Write(&body, g); err != nil {
 		return "", 0, err
 	}
@@ -82,42 +100,72 @@ func writeSnapshot(dir string, gen uint64, g *pg.Graph) (path string, bytesWritt
 // readSnapshot loads and verifies the snapshot at path. Corruption —
 // wrong magic, bad trailer, checksum mismatch, undecodable payload — is an
 // error; the caller falls back to an older generation.
-func readSnapshot(path string) (*pg.Graph, error) {
+func readSnapshot(path string) (*pg.Graph, []EpochMark, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("persist: reading snapshot: %w", err)
+		return nil, nil, fmt.Errorf("persist: reading snapshot: %w", err)
 	}
-	g, err := DecodeSnapshot(data)
+	g, marks, err := DecodeSnapshotMarks(data)
 	if err != nil {
-		return nil, fmt.Errorf("persist: snapshot %s: %w", path, err)
+		return nil, nil, fmt.Errorf("persist: snapshot %s: %w", path, err)
 	}
-	return g, nil
+	return g, marks, nil
 }
 
-// DecodeSnapshot verifies and decodes the contents of a snapshot file
-// (VKGSNAP1 envelope). The replication follower runs the bytes a leader
-// ships through it, so a snapshot corrupted on the wire is rejected by the
-// same checks that reject one corrupted on disk.
+// DecodeSnapshot verifies and decodes the contents of a snapshot file,
+// discarding the epoch history. See DecodeSnapshotMarks.
 func DecodeSnapshot(data []byte) (*pg.Graph, error) {
+	g, _, err := DecodeSnapshotMarks(data)
+	return g, err
+}
+
+// DecodeSnapshotMarks verifies and decodes the contents of a snapshot file
+// (VKGSNAP2 envelope; VKGSNAP1 accepted with an empty epoch history). The
+// replication follower runs the bytes a leader ships through it, so a
+// snapshot corrupted on the wire is rejected by the same checks that reject
+// one corrupted on disk.
+func DecodeSnapshotMarks(data []byte) (*pg.Graph, []EpochMark, error) {
 	if len(data) < len(snapMagic)+snapTrailerLen {
-		return nil, fmt.Errorf("persist: snapshot too short (%d bytes)", len(data))
+		return nil, nil, fmt.Errorf("persist: snapshot too short (%d bytes)", len(data))
 	}
-	if string(data[:len(snapMagic)]) != snapMagic {
-		return nil, fmt.Errorf("persist: not a snapshot (magic %q)", data[:len(snapMagic)])
+	magic := string(data[:len(snapMagic)])
+	if magic != snapMagic && magic != snapMagicV1 {
+		return nil, nil, fmt.Errorf("persist: not a snapshot (magic %q)", data[:len(snapMagic)])
 	}
 	payload := data[len(snapMagic) : len(data)-snapTrailerLen]
 	trailer := data[len(data)-snapTrailerLen:]
 	if wantLen := binary.LittleEndian.Uint64(trailer[0:8]); wantLen != uint64(len(payload)) {
-		return nil, fmt.Errorf("persist: snapshot length %d != trailer %d", len(payload), wantLen)
+		return nil, nil, fmt.Errorf("persist: snapshot length %d != trailer %d", len(payload), wantLen)
 	}
 	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(trailer[8:12]); got != want {
-		return nil, fmt.Errorf("persist: snapshot checksum %08x != trailer %08x", got, want)
+		return nil, nil, fmt.Errorf("persist: snapshot checksum %08x != trailer %08x", got, want)
+	}
+	var marks []EpochMark
+	if magic == snapMagic {
+		if len(payload) < 4 {
+			return nil, nil, fmt.Errorf("persist: snapshot epoch header truncated")
+		}
+		count := binary.LittleEndian.Uint32(payload[:4])
+		payload = payload[4:]
+		if uint64(count)*16 > uint64(len(payload)) {
+			return nil, nil, fmt.Errorf("persist: snapshot epoch count %d exceeds payload", count)
+		}
+		if count > 0 {
+			marks = make([]EpochMark, count)
+			for i := range marks {
+				marks[i] = EpochMark{
+					Epoch:    binary.LittleEndian.Uint64(payload[i*16:]),
+					StartSeq: int64(binary.LittleEndian.Uint64(payload[i*16+8:])),
+				}
+			}
+			payload = payload[int(count)*16:]
+		}
 	}
 	g, err := store.Read(bytes.NewReader(payload))
 	if err != nil {
-		return nil, fmt.Errorf("persist: snapshot payload: %w", err)
+		return nil, nil, fmt.Errorf("persist: snapshot payload: %w", err)
 	}
-	return g, nil
+	return g, marks, nil
 }
 
 func snapPath(dir string, gen uint64) string {

@@ -235,6 +235,17 @@ func NextFrame(data []byte) (frameLen int, ok bool) {
 	return frameHeaderLen + int(n), true
 }
 
+// FrameOp peeks at the operation byte of a complete frame without decoding
+// it. The replication leader uses it to classify frames on the hot shipping
+// path: epoch marks are sequence-neutral and must not count against the
+// skip arithmetic, but must always ship.
+func FrameOp(frame []byte) (Op, bool) {
+	if len(frame) <= frameHeaderLen {
+		return 0, false
+	}
+	return Op(frame[frameHeaderLen]), true
+}
+
 // DecodeFrame decodes exactly one complete frame into its Record. The frame
 // must be whole (NextFrame-validated length equal to len(frame)); anything
 // else — including a CRC-valid payload that does not decode — is corruption.

@@ -1,9 +1,13 @@
 package reasonapi
 
 import (
+	"context"
+	"errors"
 	"net/http"
 	"strconv"
 	"strings"
+
+	"vadalink/internal/replication"
 )
 
 // Health and readiness probes, plus the follower serving gate.
@@ -61,16 +65,41 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 				strconv.FormatInt(rec.DurationMillis, 10) + "ms"}
 	}
 
-	if fl := s.cfg.Follower; fl != nil {
+	// Replica-group mode: readiness follows the role. A leader is ready
+	// while its lease holds (fresh majority acks); a follower is ready
+	// while it hears a live leader AND its data is inside the staleness
+	// bound. An electing member is honestly unready — better a 503 than an
+	// answer from a node that doesn't know who owns the truth.
+	leading := false
+	if nd := s.cfg.Node; nd != nil {
+		st := nd.Status()
+		leading = st.Role == replication.RoleLeader
+		detail := "role " + st.Role + ", epoch " + strconv.FormatUint(st.Epoch, 10) +
+			", lease age " + strconv.FormatInt(st.LeaseMS, 10) + "ms"
+		if ev := st.LastFailover; ev != nil {
+			detail += ", last failover " + ev.Cause
+		}
+		if st.LeaseOK {
+			checks["replicaGroup"] = readyCheck{OK: true, Detail: detail}
+		} else {
+			fail("replicaGroup", "lease not held ("+detail+")")
+		}
+	}
+
+	if fl := s.cfg.Follower; fl != nil && !leading {
 		st := fl.Status()
 		bound := s.cfg.maxStaleness()
 		detail := "seq " + strconv.FormatInt(st.Seq, 10) +
 			", lag " + strconv.FormatInt(st.LagRecords, 10) +
-			", staleness " + strconv.FormatInt(st.StalenessMS, 10) + "ms"
+			", staleness " + strconv.FormatInt(st.StalenessMS, 10) + "ms" +
+			", disconnected " + strconv.FormatInt(st.DisconnectedMS, 10) + "ms"
 		switch {
 		case !st.EverSynced:
 			fail("replication", "never reached parity with the leader ("+detail+")")
-		case bound > 0 && st.Staleness > bound:
+		case bound > 0 && (st.Staleness > bound || st.Disconnected > bound):
+			// Disconnected counts too: during an outage LagRecords and
+			// StalenessMS freeze at their last-known values, so a dead
+			// stream would otherwise look permanently fresh.
 			fail("replication", "past staleness bound ("+detail+")")
 		default:
 			checks["replication"] = readyCheck{OK: true, Detail: detail}
@@ -88,8 +117,64 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, body)
 }
 
-// followerGate enforces read-only replica semantics in front of the mux.
-// It reports true when it answered the request itself.
+// leaderAPIHint is the best current belief of the leader's API address for
+// redirect envelopes: the replica group's live hint when available (learned
+// from stream handshakes and election grants), else the static config.
+func (s *Server) leaderAPIHint() string {
+	if nd := s.cfg.Node; nd != nil {
+		if _, api := nd.LeaderHint(); api != "" {
+			return api
+		}
+	}
+	return s.cfg.LeaderAPI
+}
+
+// writeNotLeader answers a write that landed on a non-leader: 421
+// Misdirected Request with the leader's API address, so a client can
+// re-issue without a discovery step.
+func (s *Server) writeNotLeader(w http.ResponseWriter, r *http.Request, detail string) {
+	writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
+		"error":     detail,
+		"code":      "not_leader",
+		"requestID": requestIDFrom(r),
+		"leader":    s.leaderAPIHint(),
+	})
+}
+
+// writeCommitErr maps a failed group write barrier (Node.Commit) onto the
+// API error vocabulary. The one invariant: a non-nil Commit is NEVER
+// acknowledged as durable — the response says exactly what the client may
+// assume, which for stale_epoch is "nothing".
+func (s *Server) writeCommitErr(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, replication.ErrNotLeader):
+		s.writeNotLeader(w, r, "this node lost the leader role; send writes to the leader")
+	case errors.Is(err, replication.ErrStaleEpoch):
+		// The leadership changed while the write was in flight. The facts
+		// reached the local WAL but were fenced off before a majority held
+		// them: the new leader may or may not carry them, so the only
+		// honest answer is "not acknowledged — re-check, then retry against
+		// the new leader".
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfterSeconds()))
+		writeErr(w, r, http.StatusServiceUnavailable, "stale_epoch",
+			"write not acknowledged: leadership changed mid-write (%v); retry against the current leader", err)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		// Quorum never assembled within the request deadline: the group has
+		// no majority of live, caught-up followers right now.
+		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfterSeconds()))
+		writeErr(w, r, http.StatusServiceUnavailable, "replication_unavailable",
+			"write not acknowledged: replication quorum unavailable (%v)", err)
+	default:
+		writeErr(w, r, http.StatusInternalServerError, "persist_failed",
+			"augmentation ran but its facts could not be made durable: %v", err)
+	}
+}
+
+// followerGate enforces replica serving semantics in front of the mux. It
+// reports true when it answered the request itself. In static follower
+// mode (cfg.Follower without cfg.Node) the node never serves writes; in
+// replica-group mode the verdict follows the node's CURRENT role, so a
+// failover re-points writes with no reconfiguration.
 func (s *Server) followerGate(w http.ResponseWriter, r *http.Request) (handled bool) {
 	p := r.URL.Path
 	// Probes, metrics and debug surfaces describe THIS node and always
@@ -97,28 +182,34 @@ func (s *Server) followerGate(w http.ResponseWriter, r *http.Request) (handled b
 	if p == "/v1/healthz" || p == "/v1/readyz" || p == "/v1/metrics" || strings.HasPrefix(p, "/debug/") {
 		return false
 	}
+	if nd := s.cfg.Node; nd != nil && nd.IsLeader() {
+		// Leading: writes proceed (the augment handler runs the quorum
+		// barrier; a deposition mid-write surfaces there as stale_epoch,
+		// never as a false ack) and reads are authoritative.
+		return false
+	}
 	// Writes belong on the leader. 421 Misdirected Request carries the
 	// leader's address so a client can re-issue without a discovery step.
 	if p == "/v1/augment" || strings.HasPrefix(p, "/v1/admin/") {
-		writeJSON(w, http.StatusMisdirectedRequest, map[string]any{
-			"error":     "this node is a read-only follower; send writes to the leader",
-			"code":      "not_leader",
-			"requestID": requestIDFrom(r),
-			"leader":    s.cfg.LeaderAPI,
-		})
+		s.writeNotLeader(w, r, "this node is a read-only follower; send writes to the leader")
 		return true
 	}
 	// Reads: stamp replication position so clients can reason about
-	// read-your-writes, and refuse only past the staleness bound.
+	// read-your-writes, and refuse only past the staleness bound. The
+	// disconnected header (and check) exists because LagRecords and
+	// StalenessMS freeze at their last-known values while the stream is
+	// down — without it, a long-dead follower would keep advertising the
+	// freshness it had the moment it lost the leader.
 	st := s.cfg.Follower.Status()
 	w.Header().Set("X-Replication-Lag", strconv.FormatInt(st.LagRecords, 10))
 	w.Header().Set("X-Replication-Staleness-Ms", strconv.FormatInt(st.StalenessMS, 10))
+	w.Header().Set("X-Replication-Disconnected-Ms", strconv.FormatInt(st.DisconnectedMS, 10))
 	bound := s.cfg.maxStaleness()
-	if bound > 0 && (!st.EverSynced || st.Staleness > bound) {
+	if bound > 0 && (!st.EverSynced || st.Staleness > bound || st.Disconnected > bound) {
 		w.Header().Set("Retry-After", strconv.Itoa(s.cfg.retryAfterSeconds()))
 		writeErr(w, r, http.StatusServiceUnavailable, "stale_replica",
-			"replica is stale: lag %d records, staleness %dms (bound %s)",
-			st.LagRecords, st.StalenessMS, bound)
+			"replica is stale: lag %d records, staleness %dms, disconnected %dms (bound %s)",
+			st.LagRecords, st.StalenessMS, st.DisconnectedMS, bound)
 		return true
 	}
 	return false

@@ -92,6 +92,10 @@ type Metrics struct {
 	// ReplicationLeader is the stream-serving side (connected followers,
 	// frames shipped) when this process is the replication leader.
 	ReplicationLeader *replication.LeaderStatus `json:"replicationLeader,omitempty"`
+	// ReplicaGroup is the self-healing failover state (role, epoch, lease,
+	// election counters, last failover cause) when the server is a member
+	// of a lease-based replica group.
+	ReplicaGroup *replication.NodeStatus `json:"replicaGroup,omitempty"`
 	// Cache is the query-result cache behind the point endpoints (hits,
 	// misses, evictions, invalidations); absent when Config.QueryCacheBytes
 	// is negative.

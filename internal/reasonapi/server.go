@@ -179,6 +179,19 @@ type Config struct {
 	// /v1/readyz reporting; the leader serves its stream on its own
 	// listener.
 	Leader *replication.Leader
+
+	// Node puts the server in self-healing replica-group mode: the node's
+	// role decides dynamically whether this process serves writes. While
+	// the node leads, /v1/augment is accepted and acknowledged only after
+	// Node.Commit makes the facts durable on a majority at the current
+	// epoch; while it follows, writes get 421 not_leader carrying the
+	// CURRENT leader's API address (learned from the stream handshake, not
+	// from static configuration), and reads are served with the staleness
+	// gating of follower mode. Node supersedes Follower/Leader: the server
+	// wires the node's own follower and leader halves, and any explicitly
+	// set Follower is ignored. LeaderAPI remains the static fallback hint
+	// for 421 envelopes when the group has no known leader yet.
+	Node *replication.Node
 }
 
 func (c Config) maxStaleness() time.Duration {
@@ -290,6 +303,19 @@ func NewServer(g *pg.Graph) *Server { return NewServerWith(g, Config{}) }
 // follower mode (cfg.Follower set) g may be nil — the server serves the
 // follower's recovered graph and tracks it across snapshot bootstraps.
 func NewServerWith(g *pg.Graph, cfg Config) *Server {
+	if nd := cfg.Node; nd != nil {
+		// Replica-group mode reuses the whole follower wiring (read lock,
+		// bootstrap swap, IVM/cache invalidation) on the node's tailing
+		// half, and the leader half for stream metrics. The store is the
+		// node's own, so durability plumbing stays consistent too.
+		cfg.Follower = nd.Follower()
+		if cfg.Leader == nil {
+			cfg.Leader = nd.Leader()
+		}
+		if cfg.Persist == nil {
+			cfg.Persist = nd.Store()
+		}
+	}
 	s := &Server{g: g, cfg: cfg}
 	if !cfg.DisableIVM {
 		s.ivmM = ivm.New(whatif.DefaultThreshold, s.engineOptions()...)
@@ -692,6 +718,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if ld := s.cfg.Leader; ld != nil {
 		st := ld.Status()
 		m.ReplicationLeader = &st
+	}
+	if nd := s.cfg.Node; nd != nil {
+		st := nd.Status()
+		m.ReplicaGroup = &st
 	}
 	if s.qc != nil {
 		st := s.qc.Stats()
@@ -1109,15 +1139,19 @@ func (s *Server) handleAugment(w http.ResponseWriter, r *http.Request) {
 	}
 	// Durability before acknowledgement: whatever the run added (even the
 	// completed rounds of an interrupted run) must be in the WAL and synced
-	// before any response promises it exists.
+	// before any response promises it exists. In replica-group mode the bar
+	// is higher — Node.Commit requires the facts fsynced on a majority at
+	// the current epoch, so an acknowledged augmentation survives any
+	// single-node failover.
 	var syncErr error
-	if s.cfg.Persist != nil {
+	if nd := s.cfg.Node; nd != nil {
+		syncErr = nd.Commit(r.Context())
+	} else if s.cfg.Persist != nil {
 		syncErr = s.cfg.Persist.Sync()
 	}
 	s.activeMut.Add(-1)
 	if syncErr != nil {
-		writeErr(w, r, http.StatusInternalServerError, "persist_failed",
-			"augmentation ran but its facts could not be made durable: %v", syncErr)
+		s.writeCommitErr(w, r, syncErr)
 		return
 	}
 	if err != nil {

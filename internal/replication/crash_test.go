@@ -55,7 +55,14 @@ type crashChild struct {
 
 func startCrashChild(t *testing.T, name string, env []string) *crashChild {
 	t.Helper()
-	cmd := exec.Command(os.Args[0], "-test.run=^TestReplCrashChild$", "-test.v")
+	return startCrashChildCmd(t, name, "^TestReplCrashChild$", env)
+}
+
+// startCrashChildCmd re-execs the test binary as one child of a crash
+// harness, constrained to the given -test.run pattern.
+func startCrashChildCmd(t *testing.T, name, runPattern string, env []string) *crashChild {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run="+runPattern, "-test.v")
 	cmd.Env = append(os.Environ(), env...)
 	var out bytes.Buffer
 	cmd.Stdout, cmd.Stderr = &out, &out

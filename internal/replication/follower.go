@@ -34,6 +34,21 @@ type FollowerOptions struct {
 	// SyncEvery is the follower's own WAL group-commit interval (see
 	// persist.Options).
 	SyncEvery time.Duration
+	// ID is this node's stable identity across reconnects (its advertised
+	// replication address in a replica group). The leader keys durable-ack
+	// tracking by it; empty falls back to the connection's remote address.
+	ID string
+	// API is this node's advertised HTTP API address, carried in the
+	// request line so a promoted candidate can hint redirecting clients.
+	API string
+	// AckEvery rate-limits durable-ack lines while frames are flowing (an
+	// ack forces a WAL fsync). Heartbeats and handshakes always ack.
+	// Default 2ms.
+	AckEvery time.Duration
+	// OnLeaderHint, when set, observes leader redirects: a dialed node that
+	// answered "not leader" names its best guess of who is. The node layer
+	// re-points discovery; the API layer re-points 421 responses.
+	OnLeaderHint func(addr, apiAddr string)
 	// Backoff paces reconnect attempts. Zero value gets a sane default
 	// (50ms base doubling to 2s, half-jittered).
 	Backoff backoff.Policy
@@ -60,10 +75,19 @@ type FollowerStatus struct {
 	Bootstraps    int64  `json:"bootstraps"`
 	FramesApplied int64  `json:"framesApplied"`
 	BadFrames     int64  `json:"badFrames"`
-	LastError     string `json:"lastError,omitempty"`
+	Epoch         uint64 `json:"epoch,omitempty"`
+	// DisconnectedMS is how long the stream has been down (0 while
+	// connected). LagRecords and StalenessMS freeze at their last-known
+	// values during an outage — this field is the one that keeps growing,
+	// so staleness gating cannot be fooled by a frozen lag.
+	DisconnectedMS int64  `json:"disconnectedMillis,omitempty"`
+	LastError      string `json:"lastError,omitempty"`
 
 	// Staleness is the structured form of StalenessMS (not serialized).
 	Staleness time.Duration `json:"-"`
+	// Disconnected is the structured form of DisconnectedMS (not
+	// serialized).
+	Disconnected time.Duration `json:"-"`
 }
 
 // Follower tails a leader's WAL stream into a local durable store. Every
@@ -80,6 +104,16 @@ type Follower struct {
 	// RWMutex via SetLock so reads exclude half-applied mutations.
 	lock sync.Locker
 
+	// seqMu serializes every compound operation on the store's (seq, epoch)
+	// pair: frame application (epoch gate + apply), ack construction (sync
+	// + read), bootstrap adoption, and fence grants (condition re-check +
+	// RecordEpoch). Without it a fence can be granted against a seq that an
+	// in-flight apply is about to advance — the follower then acks the new
+	// record under the old epoch, the old leader counts the ack as a
+	// commit, and the freshly fenced candidate leads without the committed
+	// record. Taken outside lock where both are held.
+	seqMu sync.Mutex
+
 	connected  atomic.Bool
 	leaderSeq  atomic.Int64
 	lastFresh  atomic.Int64 // unix nanos of last observed parity; 0 = never
@@ -87,6 +121,21 @@ type Follower struct {
 	bootstraps atomic.Int64
 	frames     atomic.Int64
 	badFrames  atomic.Int64
+
+	// lastContact is the unix-nano stamp of the last protocol message from
+	// a live leader (0 = never). The node layer's lease watchdog compares
+	// it against the lease to decide when to run an election.
+	lastContact atomic.Int64
+	// downSince is the unix-nano stamp of when the stream went down (0 =
+	// currently connected). Set at construction: a follower that never
+	// connected has been "down" since it existed.
+	downSince atomic.Int64
+
+	// leaderHint is the redirect target learned from a NotLeader hello
+	// (atomic string; "" = none). Used for the next dial when no
+	// LeaderFunc overrides discovery, cleared when dialing it fails.
+	leaderHint    atomic.Value
+	leaderAPIHint atomic.Value
 
 	errMu   sync.Mutex
 	lastErr string
@@ -112,6 +161,9 @@ func OpenFollower(dir string, opts FollowerOptions) (*Follower, error) {
 	if opts.ReadTimeout <= 0 {
 		opts.ReadTimeout = 10 * time.Second
 	}
+	if opts.AckEvery <= 0 {
+		opts.AckEvery = 2 * time.Millisecond
+	}
 	if opts.Backoff == (backoff.Policy{}) {
 		opts.Backoff = backoff.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second, Jitter: 0.5}
 	}
@@ -122,7 +174,9 @@ func OpenFollower(dir string, opts FollowerOptions) (*Follower, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Follower{store: st, opts: opts, lock: &sync.Mutex{}}, nil
+	f := &Follower{store: st, opts: opts, lock: &sync.Mutex{}}
+	f.downSince.Store(time.Now().UnixNano())
+	return f, nil
 }
 
 // SetLock replaces the apply lock. Call before Run. Passing the write side
@@ -154,6 +208,36 @@ func (f *Follower) Store() *persist.Store { return f.store }
 // number.
 func (f *Follower) Seq() int64 { return f.store.Seq() }
 
+// LastContact returns when the follower last heard any protocol message
+// from a live leader (zero time = never). The lease watchdog reads it.
+func (f *Follower) LastContact() time.Time {
+	ns := f.lastContact.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// LeaderHint returns the replication and API addresses of the last leader
+// this follower was redirected to or streamed from ("" when unknown).
+func (f *Follower) LeaderHint() (addr, apiAddr string) {
+	if v, ok := f.leaderHint.Load().(string); ok {
+		addr = v
+	}
+	if v, ok := f.leaderAPIHint.Load().(string); ok {
+		apiAddr = v
+	}
+	return addr, apiAddr
+}
+
+func (f *Follower) setLeaderHint(addr, apiAddr string) {
+	f.leaderHint.Store(addr)
+	f.leaderAPIHint.Store(apiAddr)
+	if f.opts.OnLeaderHint != nil {
+		f.opts.OnLeaderHint(addr, apiAddr)
+	}
+}
+
 // Close releases the local store. Call after Run has returned.
 func (f *Follower) Close() error { return f.store.Close() }
 
@@ -171,22 +255,29 @@ func (f *Follower) Status() FollowerStatus {
 		ever = true
 		staleness = time.Since(time.Unix(0, fresh))
 	}
+	var disconnected time.Duration
+	if down := f.downSince.Load(); down > 0 && !f.connected.Load() {
+		disconnected = time.Since(time.Unix(0, down))
+	}
 	f.errMu.Lock()
 	lastErr := f.lastErr
 	f.errMu.Unlock()
 	return FollowerStatus{
-		Connected:     f.connected.Load(),
-		Seq:           seq,
-		LeaderSeq:     leaderSeq,
-		LagRecords:    lag,
-		EverSynced:    ever,
-		StalenessMS:   staleness.Milliseconds(),
-		Staleness:     staleness,
-		Reconnects:    f.reconnects.Load(),
-		Bootstraps:    f.bootstraps.Load(),
-		FramesApplied: f.frames.Load(),
-		BadFrames:     f.badFrames.Load(),
-		LastError:     lastErr,
+		Connected:      f.connected.Load(),
+		Seq:            seq,
+		LeaderSeq:      leaderSeq,
+		LagRecords:     lag,
+		EverSynced:     ever,
+		StalenessMS:    staleness.Milliseconds(),
+		Staleness:      staleness,
+		Reconnects:     f.reconnects.Load(),
+		Bootstraps:     f.bootstraps.Load(),
+		FramesApplied:  f.frames.Load(),
+		BadFrames:      f.badFrames.Load(),
+		Epoch:          f.store.Epoch(),
+		DisconnectedMS: disconnected.Milliseconds(),
+		Disconnected:   disconnected,
+		LastError:      lastErr,
 	}
 }
 
@@ -194,13 +285,13 @@ func (f *Follower) Status() FollowerStatus {
 // jittered backoff on every failure. It returns ctx.Err() — every other
 // error is a reason to reconnect, not to stop.
 func (f *Follower) Run(ctx context.Context) error {
-	attempt := 0
+	retry := backoff.Retrier{Policy: f.opts.Backoff}
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 		progressed, err := f.session(ctx)
-		f.connected.Store(false)
+		f.markDisconnected()
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
@@ -211,12 +302,11 @@ func (f *Follower) Run(ctx context.Context) error {
 		if progressed {
 			// The leader was reachable and spoke protocol; whatever killed
 			// the session was transient. Start the backoff ladder over.
-			attempt = 0
+			retry.Reset()
 		}
-		d := f.opts.Backoff.Delay(attempt)
-		attempt++
+		d := retry.Next()
 		if f.opts.OnBackoff != nil {
-			f.opts.OnBackoff(attempt, d)
+			f.opts.OnBackoff(retry.Attempt(), d)
 		}
 		select {
 		case <-ctx.Done():
@@ -227,20 +317,43 @@ func (f *Follower) Run(ctx context.Context) error {
 	}
 }
 
+// markDisconnected flips the stream down, stamping the moment the outage
+// began (only on the transition, so the age keeps growing across failed
+// reconnect attempts).
+func (f *Follower) markDisconnected() {
+	if f.connected.CompareAndSwap(true, false) || f.downSince.Load() == 0 {
+		f.downSince.Store(time.Now().UnixNano())
+	}
+}
+
 // session runs one connect-negotiate-stream cycle. progressed reports
 // whether the leader completed a handshake (used to reset backoff).
 func (f *Follower) session(ctx context.Context) (progressed bool, err error) {
 	addr := f.opts.Leader
+	usedHint := false
 	if f.opts.LeaderFunc != nil {
 		if addr, err = f.opts.LeaderFunc(); err != nil {
 			return false, fmt.Errorf("replication: resolving leader: %w", err)
 		}
+		// A resolver that returned the current hint gets the same dead-hint
+		// cleanup as direct hint use below.
+		if hint, _ := f.LeaderHint(); hint != "" && hint == addr {
+			usedHint = true
+		}
+	} else if hint, _ := f.LeaderHint(); hint != "" {
+		addr = hint
+		usedHint = true
 	}
 	if ferr := faultinject.FireErr(faultinject.SiteReplDial); ferr != nil {
 		return false, fmt.Errorf("replication: dial %s: %w", addr, ferr)
 	}
 	conn, err := net.DialTimeout("tcp", addr, f.opts.DialTimeout)
 	if err != nil {
+		if usedHint {
+			// The hinted leader is unreachable; fall back to the configured
+			// address on the next attempt.
+			f.leaderHint.Store("")
+		}
 		return false, fmt.Errorf("replication: dial %s: %w", addr, err)
 	}
 	defer conn.Close()
@@ -248,7 +361,10 @@ func (f *Follower) session(ctx context.Context) (progressed bool, err error) {
 	defer stop()
 
 	mySeq := f.store.Seq()
-	reqLine, err := json.Marshal(request{Seq: mySeq})
+	reqLine, err := json.Marshal(request{
+		Seq: mySeq, Epoch: f.store.Epoch(), LastEpoch: f.store.LastEpoch(),
+		ID: f.opts.ID, API: f.opts.API,
+	})
 	if err != nil {
 		return false, err
 	}
@@ -260,15 +376,59 @@ func (f *Follower) session(ctx context.Context) (progressed bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	if h.NotLeader {
+		// Redirect: the dialed node is not (or no longer) the leader. Adopt
+		// its hint and redial. Counts as progress — the node spoke protocol.
+		if h.Leader != "" && h.Leader != addr {
+			f.setLeaderHint(h.Leader, h.LeaderAPI)
+		} else if usedHint {
+			f.leaderHint.Store("")
+		}
+		return true, fmt.Errorf("replication: %s is not the leader (hint %q)", addr, h.Leader)
+	}
+	if h.Epoch < f.store.Epoch() {
+		// The dialed leader is fenced off: we hold a durable epoch newer
+		// than its own. Refuse the stream — applying its frames would
+		// resurrect a deposed history.
+		return true, fmt.Errorf("%w: leader %s at epoch %d, local epoch %d",
+			ErrStaleLeader, addr, h.Epoch, f.store.Epoch())
+	}
+	f.setLeaderHint(addr, h.LeaderAPI)
 	f.observeLeaderSeq(h.LeaderSeq)
+	// Note: a successful handshake does NOT touch the lease clock. Lease
+	// liveness means the leader is streaming (heartbeats or frames, stamped
+	// in the loop below) — a leader healthy enough to answer a dial but too
+	// wedged to stream must still be replaceable, and reconnect cycles
+	// against such a leader must not postpone elections forever.
 
 	if h.Snapshot || h.Reset {
 		if err := f.bootstrap(conn, h); err != nil {
 			return true, err
 		}
-	} else if h.From != mySeq {
-		return true, fmt.Errorf("replication: leader offered seq %d, asked for %d", h.From, mySeq)
+	} else {
+		if h.From != mySeq {
+			return true, fmt.Errorf("replication: leader offered seq %d, asked for %d", h.From, mySeq)
+		}
+		// Adopt epoch marks the handshake carried that we are missing (their
+		// OpEpoch frames may have rotated away with old WAL generations).
+		for _, m := range h.Marks {
+			f.seqMu.Lock()
+			var merr error
+			if m.Epoch > f.store.Epoch() {
+				merr = f.store.RecordEpoch(m)
+			}
+			f.seqMu.Unlock()
+			if merr != nil {
+				return true, fmt.Errorf("replication: adopting epoch mark: %w", merr)
+			}
+		}
 	}
+	// First durable ack: tells the leader where we are and arms its lease.
+	sessEpoch := h.Epoch
+	if err := f.sendAck(conn); err != nil {
+		return true, err
+	}
+	lastAck := time.Now()
 
 	// Stream loop: frames and heartbeats until something breaks.
 	for {
@@ -277,21 +437,71 @@ func (f *Follower) session(ctx context.Context) (progressed bool, err error) {
 		if err != nil {
 			return true, fmt.Errorf("replication: stream read: %w", err)
 		}
+		f.touchContact()
 		switch typ {
 		case msgFrame:
-			if err := f.applyFrame(payload); err != nil {
+			newEpoch, err := f.applyFrame(payload, sessEpoch)
+			if err != nil {
 				return true, err
+			}
+			if newEpoch > sessEpoch {
+				sessEpoch = newEpoch
+			}
+			if time.Since(lastAck) >= f.opts.AckEvery {
+				if err := f.sendAck(conn); err != nil {
+					return true, err
+				}
+				lastAck = time.Now()
 			}
 		case msgHeartbeat:
 			var hb heartbeat
 			if err := decodeJSON(payload, &hb); err != nil {
 				return true, err
 			}
+			if hb.Epoch < f.store.Epoch() {
+				return true, fmt.Errorf("%w: heartbeat at epoch %d, local epoch %d",
+					ErrStaleLeader, hb.Epoch, f.store.Epoch())
+			}
 			f.observeLeaderSeq(hb.Seq)
+			if err := f.sendAck(conn); err != nil {
+				return true, err
+			}
+			lastAck = time.Now()
 		default:
 			return true, fmt.Errorf("replication: unexpected %q message mid-stream", typ)
 		}
 	}
+}
+
+// touchContact stamps the liveness clock the lease watchdog reads.
+func (f *Follower) touchContact() { f.lastContact.Store(time.Now().UnixNano()) }
+
+// sendAck fsyncs local state and reports the durable position to the
+// leader. The sync-before-write order is the whole point: an acked sequence
+// number survives this follower's kill -9, which is what lets a leader
+// treat majority acks as commit. The (seq, epoch) pair is read under seqMu
+// so an ack is always internally consistent: a fence granted concurrently
+// either lands before the read (the ack carries the new epoch and the old
+// leader refuses it) or after (the grant re-check saw this ack's seq).
+func (f *Follower) sendAck(conn net.Conn) error {
+	f.seqMu.Lock()
+	err := f.store.Sync()
+	var a ack
+	if err == nil {
+		a = ack{Seq: f.store.Seq(), Epoch: f.store.Epoch()}
+	}
+	f.seqMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("replication: syncing before ack: %w", err)
+	}
+	line, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("replication: sending ack: %w", err)
+	}
+	return nil
 }
 
 func (f *Follower) readHello(conn net.Conn) (hello, error) {
@@ -317,6 +527,9 @@ func (f *Follower) readHello(conn net.Conn) (hello, error) {
 // frame is applied on top.
 func (f *Follower) bootstrap(conn net.Conn, h hello) error {
 	g := pg.New()
+	// The adopted epoch history: the snapshot's own marks when one ships
+	// (they describe exactly the shipped state), the handshake's otherwise.
+	marks := h.Marks
 	if h.Snapshot {
 		conn.SetReadDeadline(time.Now().Add(f.opts.ReadTimeout))
 		typ, payload, err := readMsg(conn)
@@ -326,7 +539,7 @@ func (f *Follower) bootstrap(conn net.Conn, h hello) error {
 		if typ != msgSnapshot {
 			return fmt.Errorf("replication: expected snapshot, got %q", typ)
 		}
-		if g, err = persist.DecodeSnapshot(payload); err != nil {
+		if g, marks, err = persist.DecodeSnapshotMarks(payload); err != nil {
 			f.badFrames.Add(1)
 			return fmt.Errorf("replication: snapshot rejected: %w", err)
 		}
@@ -334,8 +547,10 @@ func (f *Follower) bootstrap(conn net.Conn, h hello) error {
 	if got := persist.SeqOfGraph(g); got != h.From {
 		return fmt.Errorf("replication: bootstrap graph is at seq %d, hello promised %d", got, h.From)
 	}
+	f.seqMu.Lock()
+	defer f.seqMu.Unlock()
 	f.lock.Lock()
-	err := f.store.ReplaceGraph(g)
+	err := f.store.ReplaceGraphMarks(g, marks)
 	if err == nil {
 		if f.opts.OnGraphSwap != nil {
 			f.opts.OnGraphSwap(g)
@@ -357,12 +572,40 @@ func (f *Follower) bootstrap(conn net.Conn, h hello) error {
 // runs against the wire bytes, so corruption in transit is caught here and
 // handled like a disconnect: the caller drops the connection and the next
 // session re-requests from the last locally-held sequence number.
-func (f *Follower) applyFrame(frame []byte) error {
+//
+// sessEpoch is the epoch this stream was negotiated under; epoch frames
+// that advance it are returned as newEpoch (and recorded durably). A local
+// epoch newer than the session's — a fence granted mid-stream — kills the
+// session: the sender is deposed and its frames must not land.
+func (f *Follower) applyFrame(frame []byte, sessEpoch uint64) (newEpoch uint64, err error) {
 	faultinject.Fire(faultinject.SiteReplApply)
 	rec, err := persist.DecodeFrame(frame)
 	if err != nil {
 		f.badFrames.Add(1)
-		return fmt.Errorf("replication: frame rejected: %w", err)
+		return 0, fmt.Errorf("replication: frame rejected: %w", err)
+	}
+	if rec.Op == persist.OpEpoch {
+		m := persist.EpochMark{Epoch: uint64(rec.ID), StartSeq: rec.From}
+		f.seqMu.Lock()
+		if m.Epoch > f.store.Epoch() {
+			if err := f.store.RecordEpoch(m); err != nil {
+				f.seqMu.Unlock()
+				return 0, fmt.Errorf("replication: recording shipped epoch: %w", err)
+			}
+		}
+		f.seqMu.Unlock()
+		f.frames.Add(1)
+		return m.Epoch, nil
+	}
+	// The epoch gate and the apply are one atomic step under seqMu: a fence
+	// granted after the gate passes must not see the record slip in behind
+	// it — that would file the deposed leader's record under the new
+	// epoch's history.
+	f.seqMu.Lock()
+	if cur := f.store.Epoch(); cur > sessEpoch {
+		f.seqMu.Unlock()
+		return 0, fmt.Errorf("%w: frame from epoch %d session, local epoch %d",
+			ErrStaleLeader, sessEpoch, cur)
 	}
 	f.lock.Lock()
 	// Applying the record mutates the graph, which fires the store's
@@ -395,12 +638,29 @@ func (f *Follower) applyFrame(frame []byte) error {
 		}
 	}
 	f.lock.Unlock()
+	f.seqMu.Unlock()
 	if err != nil {
-		return fmt.Errorf("replication: applying frame: %w", err)
+		return 0, fmt.Errorf("replication: applying frame: %w", err)
 	}
 	f.frames.Add(1)
 	f.markFreshIfCaughtUp()
-	return nil
+	return 0, nil
+}
+
+// grantFence durably records a fence mark on behalf of the node layer's
+// election protocol, re-evaluating the caller's grant condition atomically
+// against the store's current (seq, epoch, lastEpoch) under seqMu. The
+// atomicity is what makes a grant a real promise: no record can be applied
+// or acked between the condition passing and the mark landing, so a
+// candidate that wins the grant is guaranteed no committed record exists
+// past its fence point that it does not hold.
+func (f *Follower) grantFence(m persist.EpochMark, ok func(seq int64, epoch, lastEpoch uint64) bool) (bool, error) {
+	f.seqMu.Lock()
+	defer f.seqMu.Unlock()
+	if ok != nil && !ok(f.store.Seq(), f.store.Epoch(), f.store.LastEpoch()) {
+		return false, nil
+	}
+	return true, f.store.RecordEpoch(m)
 }
 
 // observeLeaderSeq records the leader's position and refreshes the
@@ -417,6 +677,7 @@ func (f *Follower) observeLeaderSeq(seq int64) {
 		}
 	}
 	f.connected.Store(true)
+	f.downSince.Store(0)
 	f.markFreshIfCaughtUp()
 }
 

@@ -29,6 +29,15 @@ type LeaderOptions struct {
 	// RequestTimeout bounds how long the leader waits for a follower's
 	// request line before dropping the connection. Default 10s.
 	RequestTimeout time.Duration
+	// OnHigherEpoch, when set, is called whenever the leader observes a
+	// higher epoch than its own — in a follower's stream request or in a
+	// durable ack. A replica-group node steps down on it: someone fenced a
+	// newer epoch, so this leader is deposed and must stop acknowledging.
+	OnHigherEpoch func(epoch uint64)
+	// API is this leader's advertised HTTP API address, stamped into every
+	// stream hello so followers learn where writes belong without static
+	// configuration.
+	API string
 	// Logger receives connection lifecycle events. Default: discard.
 	Logger *slog.Logger
 }
@@ -40,6 +49,7 @@ type LeaderStatus struct {
 	FramesShipped    int64  `json:"framesShipped"`
 	SnapshotsShipped int64  `json:"snapshotsShipped"`
 	Seq              int64  `json:"seq"`
+	Epoch            uint64 `json:"epoch,omitempty"`
 	Addr             string `json:"addr,omitempty"`
 }
 
@@ -56,6 +66,19 @@ type Leader struct {
 	frames    atomic.Int64
 	snapshots atomic.Int64
 	addr      atomic.Value // string
+
+	// acks tracks each follower's latest durable ack, keyed by its node ID
+	// (fallback: remote address). Entries are never evicted — replica
+	// groups are small — and reconnecting followers overwrite their slot.
+	ackMu sync.Mutex
+	acks  map[string]ackState
+}
+
+// ackState is one follower's newest durable ack and when it arrived.
+type ackState struct {
+	seq   int64
+	epoch uint64
+	at    time.Time
 }
 
 // NewLeader wraps a store with a replication serving tier. The store keeps
@@ -73,7 +96,7 @@ func NewLeader(store *persist.Store, opts LeaderOptions) *Leader {
 	if opts.Logger == nil {
 		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	return &Leader{store: store, opts: opts}
+	return &Leader{store: store, opts: opts, acks: make(map[string]ackState)}
 }
 
 // Addr reports the listener address once Serve is running ("" before).
@@ -92,8 +115,41 @@ func (l *Leader) Status() LeaderStatus {
 		FramesShipped:    l.frames.Load(),
 		SnapshotsShipped: l.snapshots.Load(),
 		Seq:              l.store.Seq(),
+		Epoch:            l.store.Epoch(),
 		Addr:             l.Addr(),
 	}
+}
+
+// observeAck records one follower's durable-progress line. An ack from a
+// higher epoch means this leader was deposed while it wasn't looking.
+func (l *Leader) observeAck(id string, a ack) {
+	l.ackMu.Lock()
+	cur := l.acks[id]
+	if a.Epoch > cur.epoch || (a.Epoch == cur.epoch && a.Seq >= cur.seq) {
+		l.acks[id] = ackState{seq: a.Seq, epoch: a.Epoch, at: time.Now()}
+	}
+	l.ackMu.Unlock()
+	if a.Epoch > l.store.Epoch() && l.opts.OnHigherEpoch != nil {
+		l.opts.OnHigherEpoch(a.Epoch)
+	}
+}
+
+// AckedAtLeast counts distinct followers whose newest durable ack covers
+// seq, carries exactly epoch, and arrived within window. The replica-group
+// leader uses it both as the commit barrier (majority-1 followers hold the
+// fact fsynced at the current epoch) and as the lease signal (fresh acks
+// prove the followers still follow this leader).
+func (l *Leader) AckedAtLeast(seq int64, epoch uint64, window time.Duration) int {
+	l.ackMu.Lock()
+	defer l.ackMu.Unlock()
+	n := 0
+	now := time.Now()
+	for _, a := range l.acks {
+		if a.seq >= seq && a.epoch == epoch && now.Sub(a.at) <= window {
+			n++
+		}
+	}
+	return n
 }
 
 // Serve accepts follower connections on ln until ctx is cancelled. Each
@@ -142,26 +198,67 @@ func (l *Leader) Serve(ctx context.Context, ln net.Listener) error {
 // handle negotiates with one follower and streams until error, rotation or
 // cancellation.
 func (l *Leader) handle(ctx context.Context, conn net.Conn) error {
-	conn.SetReadDeadline(time.Now().Add(l.opts.RequestTimeout))
+	req, br, err := readRequest(conn, l.opts.RequestTimeout)
+	if err != nil {
+		return err
+	}
+	return l.serveStream(ctx, conn, br, req)
+}
+
+// readRequest reads and validates the single JSON request line that opens
+// every connection. The returned reader holds any bytes read past the
+// newline (the follower's first ack may already be buffered behind it).
+func readRequest(conn net.Conn, timeout time.Duration) (request, *bufio.Reader, error) {
+	conn.SetReadDeadline(time.Now().Add(timeout))
 	br := bufio.NewReaderSize(conn, 4096)
 	line, err := br.ReadBytes('\n')
 	if err != nil {
-		return fmt.Errorf("replication: reading request: %w", err)
+		return request{}, nil, fmt.Errorf("replication: reading request: %w", err)
 	}
 	var req request
 	if err := json.Unmarshal(line, &req); err != nil || req.Seq < 0 {
-		return fmt.Errorf("replication: bad request %q", line)
+		return request{}, nil, fmt.Errorf("replication: bad request %q", line)
 	}
 	conn.SetReadDeadline(time.Time{})
+	return req, br, nil
+}
+
+// serveStream answers one stream request: negotiate a start position, ship
+// a bootstrap snapshot if needed, then stream frames while a side goroutine
+// consumes the follower's durable-ack lines off the same connection.
+func (l *Leader) serveStream(ctx context.Context, conn net.Conn, br *bufio.Reader, req request) error {
+	myEpoch := l.store.Epoch()
+	if req.Epoch > myEpoch {
+		// The follower is fenced into a newer epoch than ours: we are the
+		// deposed one. Tell the node layer, answer not-a-leader, drop.
+		if l.opts.OnHigherEpoch != nil {
+			l.opts.OnHigherEpoch(req.Epoch)
+		}
+		hb, err := json.Marshal(hello{Epoch: myEpoch, NotLeader: true})
+		if err != nil {
+			return err
+		}
+		_ = l.send(conn, msgHello, hb)
+		return fmt.Errorf("replication: follower at epoch %d outranks leader at %d", req.Epoch, myEpoch)
+	}
 
 	gen, base, seqNow := l.store.Position()
-	h := hello{Gen: gen, Base: base, From: req.Seq, LeaderSeq: seqNow}
+	h := hello{Gen: gen, Base: base, From: req.Seq, LeaderSeq: seqNow,
+		Epoch: myEpoch, Marks: l.store.EpochMarks(), LeaderAPI: l.opts.API}
 	switch {
 	case req.Seq > seqNow:
 		// The follower holds mutations this leader never durably had — the
 		// leader lost an unsynced tail in a crash and the follower applied
 		// it before the loss. The leader's durable state is authoritative;
 		// the follower must discard and re-bootstrap.
+		h.Reset = true
+		h.Snapshot = gen > 0
+		h.From = base
+	case l.store.DivergedSince(req.LastEpoch, req.Seq):
+		// The follower's tail was written under an epoch that a later fence
+		// cut off: its last records are not a prefix of this history. The
+		// reset bootstrap is the "truncate the divergent tail" step — the
+		// follower discards local state and adopts the fenced history.
 		h.Reset = true
 		h.Snapshot = gen > 0
 		h.From = base
@@ -191,7 +288,33 @@ func (l *Leader) handle(ctx context.Context, conn net.Conn) error {
 		}
 		l.snapshots.Add(1)
 	}
-	return l.stream(ctx, conn, gen, h.From-base)
+
+	// Drain the follower's ack lines for the life of the stream. The reader
+	// owns br; closing the connection (below, or via Serve's AfterFunc)
+	// unblocks it.
+	ackID := req.ID
+	if ackID == "" {
+		ackID = conn.RemoteAddr().String()
+	}
+	ackerDone := make(chan struct{})
+	go func() {
+		defer close(ackerDone)
+		for {
+			line, err := br.ReadBytes('\n')
+			if err != nil {
+				return
+			}
+			var a ack
+			if json.Unmarshal(line, &a) != nil || a.Seq < 0 {
+				return
+			}
+			l.observeAck(ackID, a)
+		}
+	}()
+	err = l.stream(ctx, conn, gen, h.From-base)
+	conn.Close()
+	<-ackerDone
+	return err
 }
 
 // stream ships WAL frames of generation gen starting at frame index
@@ -215,10 +338,10 @@ func (l *Leader) stream(ctx context.Context, conn net.Conn, gen uint64, skip int
 	}()
 
 	var (
-		buf       []byte // bytes read but not yet cut into frames
-		chunk     = make([]byte, 64<<10)
-		lastSend  = time.Now()
-		heartbeat = l.opts.Heartbeat
+		buf      []byte // bytes read but not yet cut into frames
+		chunk    = make([]byte, 64<<10)
+		lastSend = time.Now()
+		hbEvery  = l.opts.Heartbeat
 	)
 	for {
 		if ctx.Err() != nil {
@@ -255,6 +378,18 @@ func (l *Leader) stream(ctx context.Context, conn net.Conn, gen uint64, skip int
 			}
 			frame := buf[:n:n]
 			buf = buf[n:]
+			// Epoch marks are sequence-neutral: they never consume the skip
+			// budget (which counts mutations the follower already holds) and
+			// always ship — a follower that already holds the mark ignores
+			// it, one that doesn't needs it to fence correctly.
+			if op, ok := persist.FrameOp(frame); ok && op == persist.OpEpoch {
+				if err := l.send(conn, msgFrame, frame); err != nil {
+					return err
+				}
+				l.frames.Add(1)
+				lastSend = time.Now()
+				continue
+			}
 			if skip > 0 {
 				skip--
 				continue
@@ -280,8 +415,15 @@ func (l *Leader) stream(ctx context.Context, conn net.Conn, gen uint64, skip int
 		if curGen, _, _ := l.store.Position(); curGen != gen && len(buf) == 0 {
 			return nil
 		}
-		if time.Since(lastSend) >= heartbeat {
-			hb, err := json.Marshal(heartbeatMsg(l.store.Seq()))
+		if time.Since(lastSend) >= hbEvery {
+			if ferr := faultinject.FireErr(faultinject.SiteReplHeartbeat); ferr != nil {
+				// Injected heartbeat loss: the connection stays up but goes
+				// mute, so follower lease deadlines expire under a live
+				// leader. Stamp lastSend so the silence persists.
+				lastSend = time.Now()
+				continue
+			}
+			hb, err := json.Marshal(heartbeat{Seq: l.store.Seq(), Epoch: l.store.Epoch()})
 			if err != nil {
 				return err
 			}
@@ -297,8 +439,6 @@ func (l *Leader) stream(ctx context.Context, conn net.Conn, gen uint64, skip int
 		}
 	}
 }
-
-func heartbeatMsg(seq int64) heartbeat { return heartbeat{Seq: seq} }
 
 // send writes one protocol message. The injected fault here cuts the stream
 // mid-message: half the bytes go out, then the connection dies — the

@@ -35,6 +35,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"vadalink/internal/persist"
 )
 
 // Protocol message types.
@@ -43,6 +45,9 @@ const (
 	msgSnapshot  byte = 'S'
 	msgFrame     byte = 'F'
 	msgHeartbeat byte = 'P'
+	// msgStatus is a replica-group peer's one-shot reply to a probe or
+	// fence request: a PeerStatus JSON payload, then the connection closes.
+	msgStatus byte = 'T'
 )
 
 // msgHeaderLen = 1 type byte + u32le payload length.
@@ -72,16 +77,95 @@ type hello struct {
 	Reset bool `json:"reset"`
 	// LeaderSeq is the leader's sequence number at connection time.
 	LeaderSeq int64 `json:"leaderSeq"`
+	// Epoch is the leader's replication epoch. A follower whose own durable
+	// epoch is higher knows this leader is deposed and must drop the stream.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Marks is the leader's full epoch history. A follower resuming
+	// mid-generation adopts any marks it is missing here — the OpEpoch
+	// frames that carried them may live in WAL generations already rotated
+	// away, so the handshake is the only reliable carrier.
+	Marks []persist.EpochMark `json:"marks,omitempty"`
+	// NotLeader means the answering node is not the group's leader and will
+	// not stream; Leader/LeaderAPI carry its best hint of who is (may be
+	// empty when unknown). The follower redials the hinted address. On a
+	// successful stream (NotLeader false) LeaderAPI is the streaming
+	// leader's OWN advertised API address, so followers learn where writes
+	// belong from the handshake alone.
+	NotLeader bool   `json:"notLeader,omitempty"`
+	Leader    string `json:"leader,omitempty"`
+	LeaderAPI string `json:"leaderAPI,omitempty"`
 }
 
-// heartbeat is the leader's periodic 'P' payload.
+// heartbeat is the leader's periodic 'P' payload. Epoch stamps the liveness
+// signal: a follower fenced into a newer epoch rejects heartbeats from the
+// deposed epoch instead of treating them as leader health.
 type heartbeat struct {
-	Seq int64 `json:"seq"`
+	Seq   int64  `json:"seq"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
-// request is the follower's single JSON request line.
+// request is the connecting side's single JSON request line. Three shapes
+// share it: a stream request (Seq set, the PR 5 protocol), a status probe
+// (Probe true — the peer answers one msgStatus and closes), and a fence
+// request (Fence > 0 — a promotion candidate asking the peer to durably
+// enter a new epoch).
 type request struct {
 	Seq int64 `json:"seq"`
+	// Epoch is the requester's durable replication epoch (its newest fence
+	// mark, whether or not facts followed it). A leader outranked by it
+	// knows it is deposed.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// LastEpoch is the epoch under which the requester's newest FACT was
+	// written (persist.Store.LastEpoch). The leader uses it, with Seq, to
+	// detect a fenced-off divergent tail; elections and fence grants use it
+	// to order candidate histories. Distinct from Epoch: a granted fence
+	// advances Epoch without validating the facts beneath it.
+	LastEpoch uint64 `json:"lastEpoch,omitempty"`
+	// ID identifies the requesting node across reconnects (its advertised
+	// replication address); the leader keys durable-ack tracking by it.
+	ID string `json:"id,omitempty"`
+	// API is the requester's advertised HTTP API address, forwarded to
+	// followers as the leader hint when the requester wins an election.
+	API string `json:"api,omitempty"`
+	// Probe asks for a one-shot PeerStatus instead of a stream.
+	Probe bool `json:"probe,omitempty"`
+	// Fence, when non-zero, asks the peer to durably fence itself into
+	// epoch Fence, granted only if Fence advances the peer's epoch, the
+	// peer's leader contact is stale, and the candidate's history
+	// (LastEpoch, FenceStart) is at least as up to date as the peer's — so
+	// no fact the peer may have acknowledged can be orphaned.
+	Fence      uint64 `json:"fence,omitempty"`
+	FenceStart int64  `json:"fenceStart,omitempty"`
+}
+
+// ack is the follower→leader durable-progress line, sent on the same
+// connection as the stream: "everything up to Seq is fsynced here, and my
+// epoch is Epoch". The leader counts distinct fresh epoch-matching acks to
+// renew its lease and to release quorum-committed writes.
+type ack struct {
+	Seq   int64  `json:"ack"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// PeerStatus is the msgStatus payload: one node's view of itself and of the
+// group's leadership, answered to probes and fence requests.
+type PeerStatus struct {
+	Addr  string `json:"addr"`
+	Role  string `json:"role"` // "leader" or "follower"
+	Epoch uint64 `json:"epoch"`
+	// LastEpoch is the epoch of the peer's newest fact (see request); with
+	// Seq it is the peer's history identity, compared lexicographically to
+	// pick election candidates.
+	LastEpoch uint64 `json:"lastEpoch"`
+	Seq       int64  `json:"seq"`
+	// LeaderAddr/LeaderAPI are the peer's current belief of the leader.
+	LeaderAddr string `json:"leaderAddr,omitempty"`
+	LeaderAPI  string `json:"leaderAPI,omitempty"`
+	// LeaderFreshMS is how long ago the peer last heard from a live leader
+	// (0 when the peer is the leader; -1 when it never heard from one).
+	LeaderFreshMS int64 `json:"leaderFreshMillis"`
+	// Granted reports whether a fence request was granted.
+	Granted bool `json:"granted,omitempty"`
 }
 
 // encodeMsg wraps a payload in the wire envelope.
@@ -102,7 +186,7 @@ func readMsg(r io.Reader) (typ byte, payload []byte, err error) {
 	}
 	typ = hdr[0]
 	switch typ {
-	case msgHello, msgSnapshot, msgFrame, msgHeartbeat:
+	case msgHello, msgSnapshot, msgFrame, msgHeartbeat, msgStatus:
 	default:
 		return 0, nil, fmt.Errorf("replication: unknown message type %q", typ)
 	}

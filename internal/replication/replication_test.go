@@ -469,7 +469,14 @@ func TestFollowerReplicatesWeightEditAndNodeRemoval(t *testing.T) {
 
 	// The observer saw the post-bootstrap stream: the weight edit (with the
 	// new weight resolved), the incident-edge removal, then the bare node
-	// removal — in apply order.
+	// removal — in apply order. The store seq advances inside the apply
+	// before the observer callback fires, so waitSeq can return a beat
+	// before the final mutation is recorded — wait for it explicitly.
+	waitFor(t, 5*time.Second, "observer to record the node removal", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seen) >= 3 && seen[len(seen)-1].Kind == pg.MutRemoveNode
+	})
 	mu.Lock()
 	defer mu.Unlock()
 	if len(seen) < 3 {

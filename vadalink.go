@@ -388,6 +388,49 @@ func OpenFollower(dir string, opts FollowerOptions) (*Follower, error) {
 	return replication.OpenFollower(dir, opts)
 }
 
+// --- self-healing replica groups (lease-based failover; DESIGN.md §14) ---
+
+// ReplicaNode is one member of a self-healing replica group: a follower and
+// a leader bound to the same durable store, switching roles automatically
+// under a lease/epoch-fencing protocol. Wire it into APIConfig.Node and the
+// HTTP tier follows the role live — writes run the quorum barrier while
+// leading and answer 421 with the current leader's address otherwise.
+type ReplicaNode = replication.Node
+
+// ReplicaNodeOptions configures a ReplicaNode: its advertised replication
+// and API addresses, the peer set, and the lease duration that bounds
+// failover time.
+type ReplicaNodeOptions = replication.NodeOptions
+
+// ReplicaNodeStatus is a node's live group view: role, epoch, sequence,
+// leader belief, lease health and failover counters.
+type ReplicaNodeStatus = replication.NodeStatus
+
+// ReplicaFailoverEvent records one role transition and its cause.
+type ReplicaFailoverEvent = replication.FailoverEvent
+
+// Replica-group role names, as reported in ReplicaNodeStatus.Role.
+const (
+	ReplicaRoleLeader   = replication.RoleLeader
+	ReplicaRoleFollower = replication.RoleFollower
+)
+
+// Replica-group write errors: ErrNotLeader refuses a write on a non-leader
+// (retry against the hinted leader); ErrStaleEpoch reports a leadership
+// change mid-write — the write was NOT acknowledged and may or may not
+// survive on the new leader.
+var (
+	ErrNotLeader  = replication.ErrNotLeader
+	ErrStaleEpoch = replication.ErrStaleEpoch
+)
+
+// OpenReplicaNode opens (or recovers) a replica-group member's durable
+// store in dir. Start it with Serve (on a listener at opts.Self) and Run
+// (the role state machine) on the same context.
+func OpenReplicaNode(dir string, opts ReplicaNodeOptions) (*ReplicaNode, error) {
+	return replication.OpenNode(dir, opts)
+}
+
 // --- temporal dimension (the 2005–2018 register; Example 3.2 intervals) ---
 
 // TemporalGraph is a property graph whose edges carry validity intervals,
